@@ -1,0 +1,9 @@
+// Reproduces Figure 7(a): average tree cost (packet copies) vs number of
+// receivers on the ISP topology, for PIM-SM, PIM-SS, REUNITE, and HBH.
+#include "fig_common.hpp"
+
+int main() {
+  return hbh::bench::run_figure(
+      "Figure 7(a)", "average number of packet copies, ISP topology",
+      hbh::harness::TopoKind::kIsp, "cost");
+}

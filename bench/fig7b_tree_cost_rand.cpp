@@ -1,0 +1,9 @@
+// Reproduces Figure 7(b): average tree cost (packet copies) vs number of
+// receivers on the 50-node random topology (average degree 8.6).
+#include "fig_common.hpp"
+
+int main() {
+  return hbh::bench::run_figure(
+      "Figure 7(b)", "average number of packet copies, 50-node random topology",
+      hbh::harness::TopoKind::kRandom50, "cost");
+}

@@ -1,0 +1,9 @@
+// Reproduces Figure 8(a): average delay experienced by the receivers vs
+// number of receivers on the ISP topology.
+#include "fig_common.hpp"
+
+int main() {
+  return hbh::bench::run_figure(
+      "Figure 8(a)", "receiver average delay, ISP topology",
+      hbh::harness::TopoKind::kIsp, "delay");
+}

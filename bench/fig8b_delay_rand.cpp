@@ -1,0 +1,9 @@
+// Reproduces Figure 8(b): average delay experienced by the receivers vs
+// number of receivers on the 50-node random topology.
+#include "fig_common.hpp"
+
+int main() {
+  return hbh::bench::run_figure(
+      "Figure 8(b)", "receiver average delay, 50-node random topology",
+      hbh::harness::TopoKind::kRandom50, "delay");
+}

@@ -1,0 +1,60 @@
+// Shared driver for the figure-reproduction benches.
+//
+// Each fig*_ binary reproduces one figure of the paper's §4.2: it runs the
+// four protocols over the figure's group-size sweep and prints the series
+// the paper plots. Environment knobs:
+//   HBH_TRIALS  — trials per sweep point (default 60; the paper uses 500)
+//   HBH_SEED    — base seed (default 20010827)
+//   HBH_CSV     — set to 1 to also print machine-readable CSV
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/env.hpp"
+
+namespace hbh::bench {
+
+inline harness::ExperimentSpec spec_from_env(harness::TopoKind topology) {
+  harness::ExperimentSpec spec;
+  spec.topology = topology;
+  spec.group_sizes = topology == harness::TopoKind::kIsp
+                         ? harness::isp_group_sizes()
+                         : harness::random50_group_sizes();
+  // Default trial counts keep the whole bench suite to minutes on one
+  // core; the paper's full 500-trial runs are one env var away.
+  const std::int64_t default_trials =
+      topology == harness::TopoKind::kIsp ? 60 : 25;
+  spec.trials =
+      static_cast<std::size_t>(env_int_or("HBH_TRIALS", default_trials));
+  spec.base_seed = static_cast<std::uint64_t>(env_int_or("HBH_SEED", 20010827));
+  return spec;
+}
+
+inline int run_figure(const char* figure, const char* paper_caption,
+                      harness::TopoKind topology, const char* metric) {
+  const harness::ExperimentSpec spec = spec_from_env(topology);
+  std::printf("=== %s — %s ===\n", figure, paper_caption);
+  std::printf("topology=%s trials=%zu seed=%llu (paper: 500 trials)\n\n",
+              std::string(to_string(topology)).c_str(), spec.trials,
+              static_cast<unsigned long long>(spec.base_seed));
+  const auto results = harness::run_all(spec);
+  std::printf("%s\n", harness::format_table(results, metric).c_str());
+
+  std::size_t failures = 0;
+  for (const auto& sweep : results) {
+    for (const auto& cell : sweep.cells) failures += cell.delivery_failures;
+  }
+  if (failures != 0) {
+    std::printf("note: %zu/%zu trials were measured before full soft-state "
+                "convergence\n",
+                failures, spec.trials * spec.group_sizes.size() * 4);
+  }
+  if (env_int_or("HBH_CSV", 0) != 0) {
+    std::printf("\n%s", harness::format_csv(results).c_str());
+  }
+  return 0;
+}
+
+}  // namespace hbh::bench

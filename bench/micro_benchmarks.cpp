@@ -1,0 +1,102 @@
+// Microbenchmarks of the simulation substrate (google-benchmark).
+//
+// These are M1–M4 in DESIGN.md: event-queue throughput, Dijkstra SPF,
+// protocol convergence, and a full measured trial. They characterize the
+// simulator itself, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "routing/unicast.hpp"
+#include "sim/simulator.hpp"
+#include "topo/isp.hpp"
+#include "topo/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hbh;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.push(rng.uniform(0, 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().when);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorTimerWheel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    sim::PeriodicTimer timer{sim, 1.0, [&] { ++fired; }};
+    timer.start();
+    sim.run(10000.0);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorTimerWheel);
+
+void BM_DijkstraIsp(benchmark::State& state) {
+  auto scenario = topo::make_isp();
+  Rng rng{3};
+  topo::randomize_costs(scenario.topo, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::dijkstra(scenario.topo, NodeId{0}));
+  }
+}
+BENCHMARK(BM_DijkstraIsp);
+
+void BM_AllPairsRoutingRand50(benchmark::State& state) {
+  Rng rng{5};
+  auto scenario = topo::make_random50(rng);
+  topo::randomize_costs(scenario.topo, rng);
+  for (auto _ : state) {
+    routing::UnicastRouting routes{scenario.topo};
+    benchmark::DoNotOptimize(routes.distance(NodeId{0}, NodeId{49}));
+  }
+}
+BENCHMARK(BM_AllPairsRoutingRand50);
+
+void BM_HbhConvergenceIsp(benchmark::State& state) {
+  const auto receivers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng{7};
+    auto scenario = topo::make_isp();
+    topo::randomize_costs(scenario.topo, rng);
+    const auto picked = rng.sample(scenario.candidate_receivers(), receivers);
+    harness::Session session{std::move(scenario), harness::Protocol::kHbh};
+    state.ResumeTiming();
+    Time delay = 0.1;
+    for (const NodeId r : picked) {
+      session.subscribe(r, delay);
+      delay += 1.0;
+    }
+    session.run_for(400);
+    benchmark::DoNotOptimize(session.simulator().executed());
+  }
+}
+BENCHMARK(BM_HbhConvergenceIsp)->Arg(4)->Arg(16);
+
+void BM_FullTrial(benchmark::State& state) {
+  harness::ExperimentSpec spec;
+  spec.topology = harness::TopoKind::kIsp;
+  std::size_t trial = 0;
+  for (auto _ : state) {
+    const auto r =
+        harness::run_trial(spec, harness::Protocol::kHbh, 8, trial++);
+    benchmark::DoNotOptimize(r.tree_cost);
+  }
+}
+BENCHMARK(BM_FullTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// Asymmetric routing pathologies: the paper's Figures 2 and 3, live.
+//
+// Runs REUNITE and HBH side by side on the two hand-built scenarios whose
+// directed costs force the exact asymmetric routes of the paper, and shows
+//  (a) REUNITE serving r2 over a non-shortest path until r1 departs
+//      (Fig. 2), while HBH keeps every receiver on the SPT, and
+//  (b) REUNITE putting two copies of each packet on the shared link
+//      R1-R6 (Fig. 3), which HBH's fusion mechanism avoids.
+#include <cstdio>
+
+#include "harness/session.hpp"
+#include "routing/unicast.hpp"
+#include "topo/scenarios.hpp"
+
+using namespace hbh;
+using harness::Protocol;
+using harness::Session;
+
+namespace {
+
+topo::Scenario wrap_fig2(const topo::Fig2Scenario& f) {
+  topo::Scenario s;
+  s.topo = f.topo;
+  s.routers = {f.h1, f.h2, f.h3, f.h4};
+  s.hosts = {f.s, f.r1, f.r2, f.r3};
+  s.source_host = f.s;
+  return s;
+}
+
+topo::Scenario wrap_fig3(const topo::Fig3Scenario& f) {
+  topo::Scenario s;
+  s.topo = f.topo;
+  s.routers = {f.w1, f.w2, f.w3, f.w4, f.w5, f.w6};
+  s.hosts = {f.s, f.r1, f.r2};
+  s.source_host = f.s;
+  return s;
+}
+
+double delay_of(Session& session, NodeId host) {
+  const auto& d = session.receiver(host).deliveries();
+  return d.empty() ? -1.0 : d.back().received_at - d.back().sent_at;
+}
+
+void figure2() {
+  std::printf("=== Figure 2: reverse-path anchoring in REUNITE ===\n");
+  const topo::Fig2Scenario fig = topo::make_fig2();
+  const routing::UnicastRouting ref{fig.topo};
+  std::printf("shortest-path delays: S->r1 = %.0f, S->r2 = %.0f\n",
+              ref.path_delay(fig.s, fig.r1), ref.path_delay(fig.s, fig.r2));
+
+  for (const Protocol proto : {Protocol::kReunite, Protocol::kHbh}) {
+    Session session{wrap_fig2(fig), proto};
+    session.subscribe(fig.r1);
+    session.run_for(50);
+    session.subscribe(fig.r2);
+    session.run_for(250);
+    session.measure();
+    std::printf("\n%s with {r1, r2} joined:\n",
+                std::string(to_string(proto)).c_str());
+    std::printf("  delay r1 = %.0f, delay r2 = %.0f%s\n",
+                delay_of(session, fig.r1), delay_of(session, fig.r2),
+                delay_of(session, fig.r2) > ref.path_delay(fig.s, fig.r2)
+                    ? "   <-- r2 NOT on its shortest path"
+                    : "   (both on shortest paths)");
+
+    // r1 departs; REUNITE reconfigures and r2's route *changes*.
+    session.unsubscribe(fig.r1);
+    session.run_for(400);
+    session.measure();
+    std::printf("  after r1 leaves: delay r2 = %.0f\n",
+                delay_of(session, fig.r2));
+  }
+  std::printf("\n");
+}
+
+void figure3() {
+  std::printf("=== Figure 3: duplicate copies on a shared link ===\n");
+  const topo::Fig3Scenario fig = topo::make_fig3();
+  for (const Protocol proto : {Protocol::kReunite, Protocol::kHbh}) {
+    Session session{wrap_fig3(fig), proto};
+    session.subscribe(fig.r1);
+    session.run_for(50);
+    session.subscribe(fig.r2);
+    session.run_for(300);
+    const harness::Measurement m = session.measure();
+    std::printf("\n%s: tree cost %zu, worst link carries %zu cop%s\n",
+                std::string(to_string(proto)).c_str(), m.tree_cost,
+                m.max_link_copies, m.max_link_copies == 1 ? "y" : "ies");
+    for (const auto& [link, copies] : m.per_link) {
+      if (copies > 1) {
+        std::printf("  duplicated link: %s -> %s x%zu\n",
+                    to_string(link.first).c_str(),
+                    to_string(link.second).c_str(), copies);
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+void hot_potato() {
+  std::printf("=== §2.3: hot-potato routing between two ISPs ===\n");
+  const topo::HotPotatoScenario h = topo::make_hot_potato();
+  const routing::UnicastRouting routes{h.topo};
+  std::printf(
+      "src (ISP A, east) -> rx (ISP B, west) hands off at the EAST peering\n"
+      "point; the reverse route hands off WEST — each ISP spares its own\n"
+      "long-haul links, so the two directions differ:\n");
+  const auto print_path = [&](NodeId a, NodeId b) {
+    std::printf("  ");
+    bool arrow = false;
+    for (const NodeId n : routes.path(a, b)) {
+      std::printf("%s%s", arrow ? " -> " : "", to_string(n).c_str());
+      arrow = true;
+    }
+    std::printf("   (delay %.0f)\n", routes.path_delay(a, b));
+  };
+  print_path(h.src, h.rx_west);
+  print_path(h.rx_west, h.src);
+
+  topo::Scenario s;
+  s.topo = h.topo;
+  s.routers = {h.a1, h.a2, h.a3, h.b1, h.b2, h.b3};
+  s.hosts = {h.src, h.rx_west, h.rx_east};
+  s.source_host = h.src;
+  std::printf("\nreceiver delay for rx_west under each protocol:\n");
+  for (const Protocol proto :
+       {Protocol::kPimSs, Protocol::kReunite, Protocol::kHbh}) {
+    Session session{s, proto};
+    session.subscribe(h.rx_west);
+    session.subscribe(h.rx_east);
+    session.run_for(300);
+    session.measure();
+    std::printf("  %-8s %.0f  (SPT would be %.0f)\n",
+                std::string(to_string(proto)).c_str(),
+                delay_of(session, h.rx_west),
+                routes.path_delay(h.src, h.rx_west));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  figure2();
+  figure3();
+  hot_potato();
+  return 0;
+}

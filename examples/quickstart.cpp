@@ -1,0 +1,60 @@
+// Quickstart: build a topology, run the HBH protocol, watch a channel
+// deliver data.
+//
+// This is the 5-minute tour of the library's public API:
+//   1. build a Topology (or use a generator from hbh::topo),
+//   2. wrap it in a harness::Session for the protocol you want,
+//   3. subscribe receivers and let the control plane converge,
+//   4. measure(): inject a data packet and inspect cost/delay/delivery.
+#include <cstdio>
+
+#include "harness/session.hpp"
+#include "topo/builders.hpp"
+
+using namespace hbh;
+
+int main() {
+  // A small ISP-ish ring-with-chords backbone: 6 routers, one host each.
+  net::Topology backbone = topo::make_ring(6);
+  backbone.add_duplex(NodeId{0}, NodeId{3}, net::LinkAttrs{2, 2});
+  topo::Scenario scenario = topo::attach_hosts(
+      std::move(backbone),
+      {NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4}, NodeId{5}},
+      /*source_index=*/0);
+
+  std::printf("HBH quickstart on a 6-router ring (source host n%u)\n",
+              scenario.source_host.index());
+
+  harness::Session session{scenario, harness::Protocol::kHbh};
+  std::printf("channel: %s\n", session.channel().to_string().c_str());
+
+  // Three receivers join; the control plane (join/tree/fusion messages)
+  // builds the recursive-unicast tree over the next few refresh periods.
+  session.subscribe(scenario.hosts[2]);
+  session.subscribe(scenario.hosts[3], /*delay=*/5);
+  session.subscribe(scenario.hosts[5], /*delay=*/9);
+  session.run_for(120);
+
+  const harness::Measurement m = session.measure();
+  std::printf("\nafter convergence, one data packet:\n");
+  std::printf("  tree cost        : %zu link copies\n", m.tree_cost);
+  std::printf("  mean delay       : %.1f time units\n", m.mean_delay);
+  std::printf("  delivered 1x each: %s\n",
+              m.delivered_exactly_once() ? "yes" : "NO");
+
+  std::printf("\ndistribution tree (copies per directed link):\n");
+  for (const auto& [link, copies] : m.per_link) {
+    std::printf("  %s -> %-4s x%zu\n", to_string(link.first).c_str(),
+                to_string(link.second).c_str(), copies);
+  }
+
+  // Group dynamics: one receiver leaves, soft state times out, the tree
+  // shrinks — the remaining members keep receiving.
+  session.unsubscribe(scenario.hosts[3]);
+  session.run_for(200);
+  const harness::Measurement after = session.measure();
+  std::printf("\nafter host n%u left: cost %zu -> %zu, members %zu\n",
+              scenario.hosts[3].index(), m.tree_cost, after.tree_cost,
+              session.members().size());
+  return after.delivered_exactly_once() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Unicast clouds: HBH's headline deployment story.
+//
+// The whole point of recursive-unicast multicast is incremental
+// deployment: routers that only speak unicast still forward the data,
+// because every packet carries a unicast destination address. This example
+// turns multicast support OFF on progressively more routers of the ISP
+// topology and shows delivery keeps working — only the tree cost grows as
+// branching points get pushed onto the remaining multicast-capable nodes.
+#include <cstdio>
+#include <vector>
+
+#include "harness/session.hpp"
+#include "topo/isp.hpp"
+#include "util/rng.hpp"
+
+using namespace hbh;
+using harness::Protocol;
+using harness::Session;
+
+int main() {
+  Rng rng{2001};
+  topo::Scenario scenario = topo::make_isp();
+  topo::randomize_costs(scenario.topo, rng);
+  const auto receivers = rng.sample(scenario.candidate_receivers(), 10);
+
+  std::printf("HBH over unicast clouds (ISP topology, 10 receivers)\n");
+  std::printf("%-28s %10s %12s %10s\n", "multicast-incapable routers", "cost",
+              "mean delay", "delivered");
+
+  // 0, 3, 6, 9 unicast-only routers (chosen deterministically).
+  for (const std::size_t dark : {0u, 3u, 6u, 9u}) {
+    Rng pick{42};
+    harness::SessionConfig config;
+    config.unicast_only = pick.sample(scenario.routers, dark);
+
+    Session session{scenario, Protocol::kHbh, config};
+    Time delay = 0.1;
+    for (const NodeId r : receivers) {
+      session.subscribe(r, delay);
+      delay += 1.0;
+    }
+    session.run_for(400);
+    const harness::Measurement m = session.measure();
+
+    std::string names;
+    for (const NodeId n : config.unicast_only) {
+      names += to_string(n) + " ";
+    }
+    if (names.empty()) names = "(none)";
+    std::printf("%-28s %10zu %12.1f %10s\n", names.c_str(), m.tree_cost,
+                m.mean_delay, m.delivered_exactly_once() ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nEvery row delivers to all 10 receivers: unicast-only routers are\n"
+      "traversed transparently; they just can't host branching points, so\n"
+      "more copies share the links around them (higher tree cost).\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "harness/experiment.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+#include <tuple>
+
+#include "topo/isp.hpp"
+#include "topo/random.hpp"
+#include "util/rng.hpp"
+
+namespace hbh::harness {
+
+std::string_view to_string(TopoKind k) {
+  switch (k) {
+    case TopoKind::kIsp:
+      return "ISP";
+    case TopoKind::kRandom50:
+      return "random-50";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> isp_group_sizes() {
+  return {2, 4, 6, 8, 10, 12, 14, 16};
+}
+
+std::vector<std::size_t> random50_group_sizes() {
+  return {5, 10, 15, 20, 25, 30, 35, 40, 45};
+}
+
+namespace {
+
+/// Seed for a (spec, size, trial) cell — protocol-independent so every
+/// protocol sees the same costs and receiver set (paired trials).
+std::uint64_t cell_seed(const ExperimentSpec& spec, std::size_t group_size,
+                        std::size_t trial_index) {
+  std::uint64_t s = spec.base_seed;
+  s ^= 0x1000003u * (group_size + 1);
+  s ^= 0x100000001B3ull * (trial_index + 1);
+  std::uint64_t mix = s;
+  return splitmix64(mix);
+}
+
+topo::Scenario build_scenario(const ExperimentSpec& spec, Rng& rng) {
+  switch (spec.topology) {
+    case TopoKind::kIsp:
+      return topo::make_isp();
+    case TopoKind::kRandom50: {
+      // One fixed random graph per base seed (the paper evaluates a single
+      // generated topology); costs are re-randomized per trial by caller.
+      Rng topo_rng{spec.base_seed};
+      return topo::make_random50(topo_rng);
+    }
+  }
+  (void)rng;
+  assert(false);
+  return topo::make_isp();
+}
+
+}  // namespace
+
+TrialResult run_trial(const ExperimentSpec& spec, Protocol protocol,
+                      std::size_t group_size, std::size_t trial_index) {
+  Rng rng{cell_seed(spec, group_size, trial_index)};
+  topo::Scenario scenario = build_scenario(spec, rng);
+  topo::randomize_costs(scenario.topo, rng);
+  if (spec.symmetric_costs) topo::symmetrize_costs(scenario.topo);
+
+  auto candidates = scenario.candidate_receivers();
+  assert(group_size <= candidates.size());
+  const std::vector<NodeId> receivers = rng.sample(candidates, group_size);
+
+  SessionConfig config;
+  config.timers = spec.timers;
+  Session session{std::move(scenario), protocol, config};
+  // Staggered joins in randomized order (the sample above is already
+  // shuffled), spaced just over a tree period apart: each join meets the
+  // state the previous receivers built, as in an ongoing session. The
+  // warmup clock starts after the last join.
+  Time delay = 0.1;
+  for (const NodeId r : receivers) {
+    session.subscribe(r, delay);
+    delay += 1.2 * spec.timers.tree_period;
+  }
+  session.run_for(delay + spec.warmup);
+
+  const Measurement m = session.measure(spec.drain);
+  TrialResult result;
+  result.tree_cost = static_cast<double>(m.tree_cost);
+  result.mean_delay = m.mean_delay;
+  result.delivered = m.delivered_exactly_once();
+  return result;
+}
+
+Time run_to_quiescence(Session& session, Time quiet, Time horizon) {
+  const Time start = session.simulator().now();
+  const Time step = 10;  // one refresh period
+  Time last_change = start;
+  auto fingerprint = [&] {
+    const auto census = session.state_census();
+    return std::tuple{census.control_entries, census.forwarding_entries,
+                      census.routers_with_state,
+                      session.total_structural_changes()};
+  };
+  auto previous = fingerprint();
+  while (session.simulator().now() - start < horizon) {
+    session.run_for(step);
+    const auto current = fingerprint();
+    if (current != previous) {
+      previous = current;
+      last_change = session.simulator().now();
+    } else if (session.simulator().now() - last_change >= quiet) {
+      return last_change - start;
+    }
+  }
+  return horizon;
+}
+
+SweepResult run_sweep(const ExperimentSpec& spec, Protocol protocol) {
+  SweepResult out;
+  out.protocol = protocol;
+  for (const std::size_t size : spec.group_sizes) {
+    SweepCell cell;
+    cell.group_size = size;
+    for (std::size_t trial = 0; trial < spec.trials; ++trial) {
+      const TrialResult r = run_trial(spec, protocol, size, trial);
+      cell.tree_cost.add(r.tree_cost);
+      cell.mean_delay.add(r.mean_delay);
+      if (!r.delivered) ++cell.delivery_failures;
+    }
+    out.cells.push_back(cell);
+  }
+  return out;
+}
+
+std::vector<SweepResult> run_all(const ExperimentSpec& spec) {
+  std::vector<SweepResult> out;
+  out.reserve(all_protocols().size());
+  for (const Protocol p : all_protocols()) {
+    out.push_back(run_sweep(spec, p));
+  }
+  return out;
+}
+
+std::string format_table(const std::vector<SweepResult>& results,
+                         std::string_view metric, bool with_ci) {
+  assert(!results.empty());
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out << std::setw(10) << "receivers";
+  for (const auto& sweep : results) {
+    out << std::setw(with_ci ? 22 : 12) << to_string(sweep.protocol);
+  }
+  out << '\n';
+  const std::size_t rows = results.front().cells.size();
+  for (std::size_t row = 0; row < rows; ++row) {
+    out << std::setw(10) << results.front().cells[row].group_size;
+    for (const auto& sweep : results) {
+      assert(sweep.cells[row].group_size ==
+             results.front().cells[row].group_size);
+      const RunningStats& stats = metric == "cost"
+                                      ? sweep.cells[row].tree_cost
+                                      : sweep.cells[row].mean_delay;
+      if (with_ci) {
+        out << std::setw(22) << stats.to_string(2);
+      } else {
+        out << std::setw(12) << std::setprecision(2) << stats.mean();
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string format_csv(const std::vector<SweepResult>& results) {
+  std::ostringstream out;
+  out << "group_size,protocol,metric,mean,ci95,trials\n";
+  out.setf(std::ios::fixed);
+  out << std::setprecision(4);
+  for (const auto& sweep : results) {
+    for (const auto& cell : sweep.cells) {
+      out << cell.group_size << ',' << to_string(sweep.protocol) << ",cost,"
+          << cell.tree_cost.mean() << ',' << cell.tree_cost.ci95_half_width()
+          << ',' << cell.tree_cost.count() << '\n';
+      out << cell.group_size << ',' << to_string(sweep.protocol) << ",delay,"
+          << cell.mean_delay.mean() << ',' << cell.mean_delay.ci95_half_width()
+          << ',' << cell.mean_delay.count() << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hbh::harness

@@ -1,0 +1,91 @@
+// The experiment driver reproducing the paper's §4 evaluation.
+//
+// One *trial* = one cost randomization + one random receiver set + one
+// protocol, simulated to convergence, then probed. Trials are paired:
+// the (figure, group size, trial index) triple fully determines topology
+// costs and the receiver set, so every protocol sees identical conditions
+// — the same pairing the paper gets by simulating all protocols on each
+// sampled configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/session.hpp"
+#include "topo/builders.hpp"
+#include "util/stats.hpp"
+
+namespace hbh::harness {
+
+/// Which evaluation topology (§4.1).
+enum class TopoKind {
+  kIsp,       ///< Figure 6: 18 routers + 18 hosts, source = node 18
+  kRandom50,  ///< 50-router random topology, average degree 8.6
+};
+
+[[nodiscard]] std::string_view to_string(TopoKind k);
+
+struct ExperimentSpec {
+  TopoKind topology = TopoKind::kIsp;
+  std::vector<std::size_t> group_sizes{};  ///< receivers per sweep point
+  std::size_t trials = 100;                ///< paper uses 500
+  std::uint64_t base_seed = 20010827;      ///< SIGCOMM'01 conference date
+  bool symmetric_costs = false;            ///< ablation: symmetrize links
+  Time warmup = 240;                       ///< control-plane convergence time
+  Time drain = 160;                        ///< data-plane settling per probe
+  mcast::McastConfig timers{};
+};
+
+/// Default sweeps matching the figures' x-axes.
+[[nodiscard]] std::vector<std::size_t> isp_group_sizes();       // 2..16 step 2
+[[nodiscard]] std::vector<std::size_t> random50_group_sizes();  // 5..45 step 5
+
+struct TrialResult {
+  double tree_cost = 0;
+  double mean_delay = 0;
+  bool delivered = false;  ///< every member exactly once
+};
+
+/// Runs a single (topology variant, protocol, group size, trial) cell.
+[[nodiscard]] TrialResult run_trial(const ExperimentSpec& spec,
+                                    Protocol protocol, std::size_t group_size,
+                                    std::size_t trial_index);
+
+/// Runs `session` until its control plane is quiescent: no router state
+/// change (structural-change counters and the state census fingerprint)
+/// for `quiet` consecutive time units, up to `horizon`. Returns the time
+/// of the last observed change — the control-plane convergence time.
+/// Returns `horizon` if the session never settled.
+[[nodiscard]] Time run_to_quiescence(Session& session, Time quiet = 100,
+                                     Time horizon = 3000);
+
+struct SweepCell {
+  std::size_t group_size = 0;
+  RunningStats tree_cost;
+  RunningStats mean_delay;
+  std::size_t delivery_failures = 0;
+};
+
+struct SweepResult {
+  Protocol protocol{};
+  std::vector<SweepCell> cells;
+};
+
+/// Runs the full sweep for one protocol.
+[[nodiscard]] SweepResult run_sweep(const ExperimentSpec& spec,
+                                    Protocol protocol);
+
+/// Runs all four protocols.
+[[nodiscard]] std::vector<SweepResult> run_all(const ExperimentSpec& spec);
+
+/// Renders the figure-style table: one row per group size, one column per
+/// protocol. `metric` selects tree cost ("cost") or delay ("delay").
+[[nodiscard]] std::string format_table(const std::vector<SweepResult>& results,
+                                       std::string_view metric,
+                                       bool with_ci = false);
+
+/// Machine-readable CSV (group_size,protocol,metric,mean,ci95,trials).
+[[nodiscard]] std::string format_csv(const std::vector<SweepResult>& results);
+
+}  // namespace hbh::harness

@@ -1,0 +1,260 @@
+#include "harness/session.hpp"
+
+#include <cassert>
+
+#include "mcast/hbh/router.hpp"
+#include "mcast/hbh/source.hpp"
+#include "mcast/pim/router.hpp"
+#include "mcast/pim/source.hpp"
+#include "mcast/reunite/router.hpp"
+#include "mcast/reunite/source.hpp"
+
+namespace hbh::harness {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kHbh:
+      return "HBH";
+    case Protocol::kReunite:
+      return "REUNITE";
+    case Protocol::kPimSm:
+      return "PIM-SM";
+    case Protocol::kPimSs:
+      return "PIM-SS";
+  }
+  return "?";
+}
+
+const std::vector<Protocol>& all_protocols() {
+  static const std::vector<Protocol> kAll{Protocol::kPimSm, Protocol::kPimSs,
+                                          Protocol::kReunite, Protocol::kHbh};
+  return kAll;
+}
+
+Session::Session(topo::Scenario scenario, Protocol protocol,
+                 SessionConfig config)
+    : scenario_(std::move(scenario)),
+      protocol_(protocol),
+      unicast_only_(config.unicast_only) {
+  assert(scenario_.source_host.valid());
+  routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
+  net_ = std::make_unique<net::Network>(sim_, scenario_.topo, *routes_);
+  channel_ = net::Channel{net_->address_of(scenario_.source_host),
+                          GroupAddr::ssm(1)};
+  install_agents(config);
+  net_->start();
+}
+
+Session::~Session() {
+  net_->set_tap(nullptr);  // probe may outlive call frames, not the session
+}
+
+bool Session::is_unicast_only(NodeId n) const {
+  for (const NodeId u : unicast_only_) {
+    if (u == n) return true;
+  }
+  return false;
+}
+
+void Session::install_agents(const SessionConfig& config) {
+  const auto& timers = config.timers;
+
+  // Receiver hosts (every host except the source).
+  const mcast::JoinStyle style =
+      (protocol_ == Protocol::kHbh || protocol_ == Protocol::kReunite)
+          ? mcast::JoinStyle::kSourceJoin
+          : mcast::JoinStyle::kPimJoin;
+  for (const NodeId host : scenario_.hosts) {
+    if (host == scenario_.source_host) continue;
+    auto agent = std::make_unique<mcast::ReceiverHost>(style, timers);
+    receivers_[host] =
+        static_cast<mcast::ReceiverHost*>(&net_->attach(host, std::move(agent)));
+  }
+
+  // Routers. Unicast-only routers keep the default forwarding agent —
+  // that is the paper's "unicast clouds" deployment story.
+  const auto each_router = [&](auto&& make_agent) {
+    for (const NodeId router : scenario_.routers) {
+      if (is_unicast_only(router)) continue;
+      net_->attach(router, make_agent());
+    }
+  };
+
+  switch (protocol_) {
+    case Protocol::kHbh: {
+      each_router([&] { return std::make_unique<mcast::hbh::HbhRouter>(timers); });
+      auto source =
+          std::make_unique<mcast::hbh::HbhSource>(channel_, timers);
+      auto* src = static_cast<mcast::hbh::HbhSource*>(
+          &net_->attach(scenario_.source_host, std::move(source)));
+      send_data_ = [src](std::uint64_t probe, std::uint32_t seq) {
+        return src->send_data(probe, seq);
+      };
+      break;
+    }
+    case Protocol::kReunite: {
+      each_router(
+          [&] { return std::make_unique<mcast::reunite::ReuniteRouter>(timers); });
+      auto source =
+          std::make_unique<mcast::reunite::ReuniteSource>(channel_, timers);
+      auto* src = static_cast<mcast::reunite::ReuniteSource*>(
+          &net_->attach(scenario_.source_host, std::move(source)));
+      send_data_ = [src](std::uint64_t probe, std::uint32_t seq) {
+        return src->send_data(probe, seq);
+      };
+      break;
+    }
+    case Protocol::kPimSs:
+    case Protocol::kPimSm: {
+      each_router([&] { return std::make_unique<mcast::pim::PimRouter>(timers); });
+      Ipv4Addr rp_addr = kNoAddr;
+      if (protocol_ == Protocol::kPimSm) {
+        rp_ = mcast::pim::choose_rp_delay_aware(*routes_, scenario_.routers,
+                                                scenario_.source_host);
+        rp_addr = net_->address_of(rp_);
+      }
+      auto source = std::make_unique<mcast::pim::PimSource>(
+          channel_,
+          protocol_ == Protocol::kPimSm ? mcast::pim::PimMode::kSharedTree
+                                        : mcast::pim::PimMode::kSourceTree,
+          rp_addr);
+      auto* src = static_cast<mcast::pim::PimSource*>(
+          &net_->attach(scenario_.source_host, std::move(source)));
+      send_data_ = [src](std::uint64_t probe, std::uint32_t seq) {
+        return src->send_data(probe, seq);
+      };
+      break;
+    }
+  }
+}
+
+void Session::subscribe(NodeId host, Time delay) {
+  auto* receiver = receivers_.at(host);
+  const Ipv4Addr root =
+      protocol_ == Protocol::kPimSm ? net_->address_of(rp_) : channel_.source;
+  if (delay <= 0) {
+    receiver->subscribe(channel_, root);
+  } else {
+    sim_.schedule(delay, [receiver, channel = channel_, root] {
+      receiver->subscribe(channel, root);
+    });
+  }
+}
+
+void Session::unsubscribe(NodeId host, Time delay) {
+  auto* receiver = receivers_.at(host);
+  if (delay <= 0) {
+    receiver->unsubscribe(channel_);
+  } else {
+    sim_.schedule(delay, [receiver, channel = channel_] {
+      receiver->unsubscribe(channel);
+    });
+  }
+}
+
+std::vector<NodeId> Session::members() const {
+  std::vector<NodeId> out;
+  for (const NodeId host : scenario_.hosts) {  // stable order
+    const auto it = receivers_.find(host);
+    if (it != receivers_.end() && it->second->subscribed(channel_)) {
+      out.push_back(host);
+    }
+  }
+  return out;
+}
+
+Measurement Session::measure(Time drain) {
+  const std::vector<NodeId> expected = members();
+  active_probe_ = std::make_unique<metrics::DataProbe>(next_probe_++);
+  net_->set_tap(active_probe_.get());
+  for (auto& [host, receiver] : receivers_) {
+    receiver->set_sink(active_probe_.get());
+  }
+
+  const std::size_t sent = send_data_(active_probe_->probe_id(), next_seq_++);
+  (void)sent;
+  sim_.run_for(drain);
+
+  Measurement m;
+  m.tree_cost = active_probe_->link_copies();
+  m.mean_delay = active_probe_->mean_delay(expected);
+  m.max_link_copies = active_probe_->max_copies_on_a_link();
+  m.missing = active_probe_->missing(expected);
+  m.duplicated = active_probe_->duplicated();
+  m.per_link = active_probe_->per_link();
+
+  net_->set_tap(nullptr);
+  for (auto& [host, receiver] : receivers_) receiver->set_sink(nullptr);
+  return m;
+}
+
+void Session::set_link_cost(NodeId a, NodeId b, double cost) {
+  const auto ab = scenario_.topo.find_link(a, b);
+  const auto ba = scenario_.topo.find_link(b, a);
+  assert(ab.has_value() && ba.has_value());
+  scenario_.topo.set_attrs(*ab, net::LinkAttrs{cost, cost});
+  scenario_.topo.set_attrs(*ba, net::LinkAttrs{cost, cost});
+  routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
+  net_->rebind_routes(*routes_);
+}
+
+std::uint64_t Session::total_structural_changes() const {
+  std::uint64_t total = 0;
+  for (const NodeId router : scenario_.routers) {
+    if (is_unicast_only(router)) continue;
+    const net::ProtocolAgent& agent = net_->agent(router);
+    if (protocol_ == Protocol::kHbh) {
+      total += static_cast<const mcast::hbh::HbhRouter&>(agent)
+                   .structural_changes();
+    } else if (protocol_ == Protocol::kReunite) {
+      total += static_cast<const mcast::reunite::ReuniteRouter&>(agent)
+                   .structural_changes();
+    }
+  }
+  return total;
+}
+
+mcast::ReceiverHost& Session::receiver(NodeId host) const {
+  return *receivers_.at(host);
+}
+
+Session::StateCensus Session::state_census() const {
+  StateCensus census;
+  for (const NodeId router : scenario_.routers) {
+    if (is_unicast_only(router)) continue;
+    const net::ProtocolAgent& agent = net_->agent(router);
+    std::size_t control = 0;
+    std::size_t forwarding = 0;
+    switch (protocol_) {
+      case Protocol::kHbh: {
+        const auto* st =
+            static_cast<const mcast::hbh::HbhRouter&>(agent).state(channel_);
+        if (st != nullptr) {
+          if (st->mct) control = 1;
+          if (st->mft) forwarding = st->mft->size();
+        }
+        break;
+      }
+      case Protocol::kReunite: {
+        const auto* st = static_cast<const mcast::reunite::ReuniteRouter&>(agent)
+                             .state(channel_);
+        if (st != nullptr) {
+          if (st->mct) control = 1;
+          if (st->mft) forwarding = 1 + st->mft->entries.size();  // dst + rest
+        }
+        break;
+      }
+      case Protocol::kPimSm:
+      case Protocol::kPimSs:
+        forwarding =
+            static_cast<const mcast::pim::PimRouter&>(agent).oifs(channel_).size();
+        break;
+    }
+    census.control_entries += control;
+    census.forwarding_entries += forwarding;
+    if (control + forwarding > 0) ++census.routers_with_state;
+  }
+  return census;
+}
+
+}  // namespace hbh::harness

@@ -1,0 +1,141 @@
+// A Session wires one protocol onto one topology and drives a simulation:
+// subscribe/unsubscribe receivers, run the control plane to convergence,
+// then inject probe packets and measure tree cost and receiver delay.
+//
+// This is the public entry point a downstream user of the library touches
+// first (see examples/quickstart.cpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mcast/common/membership.hpp"
+#include "metrics/probe.hpp"
+#include "net/network.hpp"
+#include "routing/unicast.hpp"
+#include "sim/simulator.hpp"
+#include "topo/builders.hpp"
+
+namespace hbh::harness {
+
+/// The four protocols the paper evaluates (§4.2).
+enum class Protocol { kHbh, kReunite, kPimSm, kPimSs };
+
+[[nodiscard]] std::string_view to_string(Protocol p);
+
+/// All protocols, in the paper's plotting order.
+[[nodiscard]] const std::vector<Protocol>& all_protocols();
+
+struct SessionConfig {
+  mcast::McastConfig timers{};
+  /// Multicast-incapable routers (unicast clouds): these get the default
+  /// forwarding agent instead of a protocol agent.
+  std::vector<NodeId> unicast_only{};
+};
+
+/// Result of one measurement round (one probe packet).
+struct Measurement {
+  std::size_t tree_cost = 0;        ///< data-packet copies over all links
+  double mean_delay = 0;            ///< mean first-delivery delay
+  std::size_t max_link_copies = 0;  ///< >1 reveals duplicate copies (Fig. 3)
+  std::vector<NodeId> missing;      ///< subscribed receivers that got nothing
+  std::vector<NodeId> duplicated;   ///< receivers that got multiple copies
+  /// Copies of the probe packet per directed link (the measured tree).
+  std::map<std::pair<NodeId, NodeId>, std::size_t> per_link;
+
+  [[nodiscard]] bool delivered_exactly_once() const {
+    return missing.empty() && duplicated.empty();
+  }
+};
+
+class Session {
+ public:
+  /// The scenario is copied (costs may be randomized per trial by the
+  /// caller *before* constructing the session; routing is computed here).
+  Session(topo::Scenario scenario, Protocol protocol,
+          SessionConfig config = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] Protocol protocol() const noexcept { return protocol_; }
+  [[nodiscard]] const net::Channel& channel() const noexcept {
+    return channel_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  [[nodiscard]] const topo::Scenario& scenario() const noexcept {
+    return scenario_;
+  }
+  [[nodiscard]] const routing::UnicastRouting& routes() const noexcept {
+    return *routes_;
+  }
+  /// The RP router chosen for PIM-SM (kNoNode otherwise).
+  [[nodiscard]] NodeId rp() const noexcept { return rp_; }
+
+  /// Subscribes the receiver host immediately (or at now+delay).
+  void subscribe(NodeId host, Time delay = 0);
+  void unsubscribe(NodeId host, Time delay = 0);
+
+  /// Currently subscribed receiver hosts.
+  [[nodiscard]] std::vector<NodeId> members() const;
+
+  /// Advances the simulation by `duration` time units.
+  void run_for(Time duration) { sim_.run_for(duration); }
+
+  /// Sends one probe data packet from the source and runs the simulation
+  /// for `drain` time units, then reports what happened.
+  Measurement measure(Time drain = 150);
+
+  /// Sum of structural table changes across all protocol routers (HBH /
+  /// REUNITE only; 0 for PIM) — the Figure 4 stability metric.
+  [[nodiscard]] std::uint64_t total_structural_changes() const;
+
+  /// Sets both directions of the duplex link a-b to `cost` (delay = cost)
+  /// and recomputes unicast routing — modelling an instantaneous IGP
+  /// reconvergence after a metric change. Soft state then re-anchors the
+  /// multicast tree onto the new routes over the following periods.
+  void set_link_cost(NodeId a, NodeId b, double cost);
+
+  /// Soft-fails the link (prohibitive cost; traffic routes around it).
+  void fail_link(NodeId a, NodeId b) { set_link_cost(a, b, 1e6); }
+
+  /// Router-state census for this session's channel — the paper's §2.1
+  /// motivation: REUNITE/HBH keep *forwarding* state (MFT entries / PIM
+  /// oifs) only where packets are replicated, and cheap *control* state
+  /// (MCT) elsewhere.
+  struct StateCensus {
+    std::size_t control_entries = 0;     ///< MCT entries
+    std::size_t forwarding_entries = 0;  ///< MFT entries / PIM oifs
+    std::size_t routers_with_state = 0;
+  };
+  [[nodiscard]] StateCensus state_census() const;
+
+  /// The receiver host agent (for tests needing raw deliveries).
+  [[nodiscard]] mcast::ReceiverHost& receiver(NodeId host) const;
+
+ private:
+  void install_agents(const SessionConfig& config);
+  [[nodiscard]] bool is_unicast_only(NodeId n) const;
+
+  topo::Scenario scenario_;
+  Protocol protocol_;
+  std::vector<NodeId> unicast_only_;
+  sim::Simulator sim_;
+  std::unique_ptr<routing::UnicastRouting> routes_;
+  std::unique_ptr<net::Network> net_;
+  net::Channel channel_;
+  NodeId rp_ = kNoNode;
+  std::function<std::size_t(std::uint64_t, std::uint32_t)> send_data_;
+  std::unordered_map<NodeId, mcast::ReceiverHost*> receivers_;
+  std::uint64_t next_probe_ = 1;
+  std::uint32_t next_seq_ = 0;
+  std::unique_ptr<metrics::DataProbe> active_probe_;
+};
+
+}  // namespace hbh::harness

@@ -1,0 +1,81 @@
+// Control-plane pacing guards.
+//
+// Both REUNITE and HBH replicate tree messages *on reception*: a branching
+// node that receives a tree message re-emits one per table entry. During
+// convergence under asymmetric routing, transient cyclic dst/entry
+// relationships between two branching nodes can then amplify tree tokens
+// exponentially (B1's replica triggers B2, whose replica re-triggers B1,
+// while the source keeps injecting fresh tokens every period). Real
+// routers do not emit faster than their soft-state refresh clock, so we
+// bound local *origination* — never forwarding — with two guards:
+//
+//  * TreePacer      — at most one locally-originated tree message per
+//                     (channel, target) per minimum interval;
+//  * ReplicationGuard — a branching node replicates each distinct data
+//                     packet (probe, seq) at most once.
+//
+// Neither guard changes converged-state behaviour (steady state emits
+// exactly once per period anyway); they only clamp transient storms.
+// See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/ids.hpp"
+#include "util/ipv4.hpp"
+
+namespace hbh::mcast {
+
+/// Allows one emission per target per min_gap interval.
+class TreePacer {
+ public:
+  /// Returns true (and records the emission) if a tree message for
+  /// `target` may be originated at `now`; false if it was originated less
+  /// than `min_gap` ago.
+  bool allow(Ipv4Addr target, Time now, Time min_gap) {
+    auto [it, inserted] = last_.try_emplace(target, now);
+    if (inserted) return true;
+    if (now - it->second < min_gap) return false;
+    it->second = now;
+    return true;
+  }
+
+  /// Drops memory older than `horizon` to bound growth.
+  void expire(Time now, Time horizon) {
+    for (auto it = last_.begin(); it != last_.end();) {
+      it = (now - it->second > horizon) ? last_.erase(it) : std::next(it);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return last_.size(); }
+
+ private:
+  std::unordered_map<Ipv4Addr, Time> last_;
+};
+
+/// Remembers the most recent data packets replicated (by probe/seq pair),
+/// in a small ring — O(1) memory, enough to catch looped-back copies.
+class ReplicationGuard {
+ public:
+  /// Returns true if this (probe, seq) has not been replicated before
+  /// (and records it); false if it has.
+  bool first_time(std::uint64_t probe, std::uint32_t seq) {
+    const std::uint64_t key = probe * 1000003u + seq;
+    for (std::size_t i = 0; i < filled_; ++i) {
+      if (ring_[i] == key) return false;
+    }
+    ring_[next_] = key;
+    next_ = (next_ + 1) % kSize;
+    if (filled_ < kSize) ++filled_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kSize = 64;
+  std::uint64_t ring_[kSize] = {};
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+};
+
+}  // namespace hbh::mcast

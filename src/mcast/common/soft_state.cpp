@@ -1,0 +1,11 @@
+#include "mcast/common/soft_state.hpp"
+
+namespace hbh::mcast {
+
+std::string SoftEntry::state_string(Time now) const {
+  std::string s = dead(now) ? "dead" : (stale(now) ? "stale" : "fresh");
+  if (marked_) s += "+marked";
+  return s;
+}
+
+}  // namespace hbh::mcast

@@ -1,0 +1,271 @@
+#include "mcast/hbh/router.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace hbh::mcast::hbh {
+
+using net::Packet;
+using net::PacketType;
+
+void apply_fusion(Mft& mft, const net::FusionPayload& fusion,
+                  const McastConfig& cfg, Time now) {
+  // F2: mark every listed receiver we keep an entry for. Marked entries
+  // keep receiving tree messages but no data — the fusion origin Bp takes
+  // over data duplication for them.
+  for (const Ipv4Addr r : fusion.receivers) {
+    if (SoftEntry* entry = mft.find(r); entry != nullptr) {
+      entry->set_marked(true);
+    }
+  }
+  // F3/F4: ensure Bp is present. A fusion-created entry is born stale
+  // (data flows to Bp, but no tree messages — those only start once Bp's
+  // own joins arrive and fully refresh the entry).
+  if (SoftEntry* bp = mft.find(fusion.origin); bp != nullptr) {
+    bp->refresh_keepalive(cfg, now);  // F4: t2 only; t1 untouched
+  } else {
+    SoftEntry& fresh = mft.upsert(fusion.origin, cfg, now);
+    fresh.expire_t1(now);  // F3: born stale
+  }
+}
+
+const ChannelState* HbhRouter::state(const net::Channel& ch) const {
+  const auto it = channels_.find(ch);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+void HbhRouter::handle(Packet&& packet, NodeId from) {
+  (void)from;
+  switch (packet.type) {
+    case PacketType::kJoin:
+      on_join(std::move(packet));
+      return;
+    case PacketType::kTree:
+      on_tree(std::move(packet));
+      return;
+    case PacketType::kFusion:
+      on_fusion(std::move(packet));
+      return;
+    case PacketType::kData:
+      on_data(std::move(packet));
+      return;
+    case PacketType::kPimJoin:
+    case PacketType::kPimPrune:
+      // Not HBH messages; behave as a plain unicast router.
+      net::ProtocolAgent::handle(std::move(packet), from);
+      return;
+  }
+}
+
+void HbhRouter::purge(const net::Channel& ch) {
+  const auto it = channels_.find(ch);
+  if (it == channels_.end()) return;
+  ChannelState& st = it->second;
+  if (st.mct && st.mct->state.dead(now())) {
+    st.mct.reset();
+    ++structural_changes_;
+  }
+  if (st.mft) {
+    structural_changes_ += st.mft->purge(now());
+    if (st.mft->empty()) {
+      st.mft.reset();
+      ++structural_changes_;
+    }
+  }
+  if (!st.mct && !st.mft) channels_.erase(it);
+}
+
+void HbhRouter::send_self_join(const net::Channel& ch) {
+  Packet join;
+  join.src = self_addr();
+  join.dst = ch.source;
+  join.channel = ch;
+  join.type = PacketType::kJoin;
+  join.payload = net::JoinPayload{self_addr(), /*first=*/false};
+  forward(std::move(join));
+}
+
+void HbhRouter::send_fusion(const net::Channel& ch, Mft& mft,
+                            Ipv4Addr upstream) {
+  if (upstream.unspecified()) upstream = ch.source;
+  Packet fusion;
+  fusion.src = self_addr();
+  fusion.dst = upstream;
+  fusion.channel = ch;
+  fusion.type = PacketType::kFusion;
+  fusion.payload = net::FusionPayload{mft.live_targets(now()), self_addr()};
+  log(LogLevel::kDebug, to_string(self()), " fusion -> ", upstream.to_string(),
+      " ", mft.to_string(now()));
+  forward(std::move(fusion));
+}
+
+void HbhRouter::on_join(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  const net::JoinPayload join = packet.join();
+  if (packet.dst == self_addr()) return;  // joins are addressed to sources
+  purge(ch);
+
+  // §3.1: the first join must reach the source so it can start emitting
+  // tree(S, R) messages along the shortest path S -> R.
+  if (!join.first) {
+    const auto it = channels_.find(ch);
+    if (it != channels_.end() && it->second.mft) {
+      Mft& mft = *it->second.mft;
+      if (SoftEntry* entry = mft.find(join.receiver); entry != nullptr) {
+        // J3: intercept. Full refresh (marked entries stay marked: the
+        // refresh keeps t1/t2 alive so tree messages keep flowing to R).
+        entry->refresh(config_, now());
+        log(LogLevel::kTrace, to_string(self()), " intercepts join(",
+            join.receiver.to_string(), ")");
+        send_self_join(ch);
+        return;
+      }
+    }
+  }
+  // J1/J2: forward unchanged toward the source.
+  forward(std::move(packet));
+}
+
+void HbhRouter::on_tree(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  const net::TreePayload tree = packet.tree();
+  purge(ch);
+  auto it = channels_.find(ch);
+
+  // T1: a tree message addressed to this branching node is consumed and
+  // re-expanded: one tree(S, Ri) per non-stale MFT entry, with ourselves
+  // recorded as the last branching node.
+  if (packet.dst == self_addr()) {
+    if (it != channels_.end() && it->second.mft) {
+      // Re-emit at most once per source refresh wave: replicas inherit the
+      // wave id, so a token circling back through a transient MFT cycle
+      // cannot re-trigger emission — every refresh chain stays rooted at
+      // the source.
+      auto [wave_it, first] = last_wave_.try_emplace(ch, tree.wave);
+      if (!first) {
+        if (tree.wave <= wave_it->second) return;
+        wave_it->second = tree.wave;
+      }
+      TreePacer& pacer = pacers_[ch];
+      pacer.expire(now(), 10 * config_.tree_period);
+      for (const Ipv4Addr target : it->second.mft->tree_targets(now())) {
+        if (!pacer.allow(target, now(), 0.5 * config_.tree_period)) continue;
+        Packet out;
+        out.src = ch.source;
+        out.dst = target;
+        out.channel = ch;
+        out.type = PacketType::kTree;
+        out.payload = net::TreePayload{target, false, self_addr(), tree.wave};
+        forward(std::move(out));
+      }
+    }
+    return;  // discard the original (rule T1), or drop if MFT vanished
+  }
+
+  const Ipv4Addr r = tree.target;
+  if (it != channels_.end() && it->second.mft) {
+    Mft& mft = *it->second.mft;
+    if (SoftEntry* entry = mft.find(r); entry != nullptr) {
+      // T3: B no longer gets join(S,R) directly — keep the entry alive via
+      // the passing tree message and remind upstream we duplicate for R.
+      entry->refresh(config_, now());
+      send_fusion(ch, mft, tree.last_branch);
+    } else {
+      // T2: a new receiver whose path crosses this branching node.
+      mft.upsert(r, config_, now());
+      ++structural_changes_;
+      send_fusion(ch, mft, tree.last_branch);
+    }
+    packet.tree().last_branch = self_addr();
+    forward(std::move(packet));
+    return;
+  }
+
+  // Non-branching cases.
+  if (it == channels_.end() || !it->second.mct) {
+    // T4: joining the distribution tree as a transit router.
+    ChannelState& st = channels_[ch];
+    st.mct = Mct{r, SoftEntry{config_, now()}};
+    ++structural_changes_;
+    forward(std::move(packet));
+    return;
+  }
+
+  Mct& mct = *it->second.mct;
+  if (mct.target == r) {
+    // T6: steady state refresh.
+    mct.state.refresh(config_, now());
+    forward(std::move(packet));
+    return;
+  }
+  if (mct.state.stale(now())) {
+    // T7: the previous branch through here expired; adopt the new one.
+    mct.target = r;
+    mct.state.refresh(config_, now());
+    ++structural_changes_;
+    forward(std::move(packet));
+    return;
+  }
+
+  // T8: two live receivers downstream -> become a branching node.
+  const Ipv4Addr previous = mct.target;
+  ChannelState& st = it->second;
+  st.mct.reset();
+  st.mft.emplace();
+  st.mft->upsert(previous, config_, now());
+  st.mft->upsert(r, config_, now());
+  structural_changes_ += 2;
+  log(LogLevel::kDebug, to_string(self()), " becomes branching for ",
+      ch.to_string(), " ", st.mft->to_string(now()));
+  send_fusion(ch, *st.mft, tree.last_branch);
+  packet.tree().last_branch = self_addr();
+  forward(std::move(packet));
+}
+
+void HbhRouter::on_fusion(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  if (packet.dst != self_addr()) {
+    // F1: not for us; keep travelling upstream.
+    forward(std::move(packet));
+    return;
+  }
+  purge(ch);
+  const auto it = channels_.find(ch);
+  if (it == channels_.end() || !it->second.mft) {
+    // Fusion addressed to a node that lost its MFT (raced with expiry);
+    // nothing to mark — drop. The emitter will retry on the next tree.
+    return;
+  }
+  apply_fusion(*it->second.mft, packet.fusion(), config_, now());
+}
+
+void HbhRouter::on_data(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  if (packet.dst != self_addr()) {
+    forward(std::move(packet));  // transit data: plain unicast
+    return;
+  }
+  purge(ch);
+  const auto it = channels_.find(ch);
+  if (it == channels_.end() || !it->second.mft) {
+    log(LogLevel::kDebug, to_string(self()),
+        " data addressed to non-branching node, dropped");
+    return;
+  }
+  if (!guards_[ch].first_time(packet.data().probe, packet.data().seq)) {
+    // A copy of this packet already passed through (transient routing
+    // cycle); replicating again would amplify it.
+    return;
+  }
+  // Recursive unicast: consume the incoming packet and emit one modified
+  // copy per data-eligible entry (marked entries excluded — their data
+  // flows through the downstream branching node that fused them).
+  for (const Ipv4Addr target : it->second.mft->data_targets(now())) {
+    Packet copy = packet;
+    copy.dst = target;
+    forward(std::move(copy));
+  }
+}
+
+}  // namespace hbh::mcast::hbh

@@ -1,0 +1,86 @@
+// The HBH router agent: Appendix A's message processing rules.
+//
+// Join rules (Fig. 9a):
+//   J1 router has no MFT<S>            -> forward join unchanged
+//   J2 R not in MFT<S>                 -> forward join unchanged
+//   J3 R in MFT<S>                     -> intercept: refresh R, emit join(S,B)
+//   (plus §3.1: "the first join issued by a receiver is never intercepted")
+//
+// Tree rules (Fig. 9c), B receiving tree(S, R):
+//   T1 branching, addressed to B       -> discard; re-emit tree(S,Ri) for
+//                                         every non-stale MFT entry
+//   T2 branching, R new                -> insert R; fusion upstream; forward
+//   T3 branching, R in MFT             -> refresh R; fusion upstream; forward
+//   T4 not on tree                     -> create MCT{R}; forward
+//   T6 MCT contains R                  -> refresh MCT; forward
+//   T7 MCT stale                       -> replace MCT entry with R; forward
+//   T8 MCT fresh, R different          -> become branching: MFT{old, R},
+//                                         destroy MCT, fusion upstream,
+//                                         forward with last_branch = B
+//
+// Fusion rules (Fig. 9b), B receiving fusion(S, R1..Rn) from Bp:
+//   F1 not addressed to B              -> forward upstream
+//   F2 addressed to B                  -> mark listed entries present in MFT
+//   F3 Bp absent from MFT              -> insert Bp with t1 expired (stale)
+//   F4 Bp present                      -> refresh t2 only; t1 stays as-is
+//
+// Data plane: a data packet addressed to B (branching) is consumed and one
+// modified copy is sent to every non-marked live MFT entry.
+#pragma once
+
+#include <unordered_map>
+
+#include "mcast/common/pacing.hpp"
+#include "mcast/common/soft_state.hpp"
+#include "mcast/hbh/tables.hpp"
+#include "net/network.hpp"
+
+namespace hbh::mcast::hbh {
+
+/// Applies fusion rules F2–F4 to an MFT (shared by router and source).
+void apply_fusion(Mft& mft, const net::FusionPayload& fusion,
+                  const McastConfig& cfg, Time now);
+
+class HbhRouter : public net::ProtocolAgent {
+ public:
+  explicit HbhRouter(McastConfig config) : config_(config) {}
+
+  void handle(net::Packet&& packet, NodeId from) override;
+
+  /// Introspection for tests and the tree-dump tooling. Null if this
+  /// router has no state for the channel.
+  [[nodiscard]] const ChannelState* state(const net::Channel& ch) const;
+
+  /// Number of structural table changes (entry create/destroy, MCT<->MFT
+  /// conversions) — the "tree stability" metric of Figure 4.
+  [[nodiscard]] std::uint64_t structural_changes() const noexcept {
+    return structural_changes_;
+  }
+
+ private:
+  void on_join(net::Packet&& packet);
+  void on_tree(net::Packet&& packet);
+  void on_fusion(net::Packet&& packet);
+  void on_data(net::Packet&& packet);
+
+  /// Sends join(S, B) toward the source (a branching router joining the
+  /// channel itself at the next upstream branching router).
+  void send_self_join(const net::Channel& ch);
+
+  /// Sends fusion(S, <all live MFT targets>) addressed to `upstream`.
+  void send_fusion(const net::Channel& ch, Mft& mft, Ipv4Addr upstream);
+
+  /// Lazily purges dead state for the channel; drops empty tables.
+  void purge(const net::Channel& ch);
+
+  [[nodiscard]] Time now() const { return simulator().now(); }
+
+  McastConfig config_;
+  std::unordered_map<net::Channel, ChannelState> channels_;
+  std::unordered_map<net::Channel, TreePacer> pacers_;
+  std::unordered_map<net::Channel, ReplicationGuard> guards_;
+  std::unordered_map<net::Channel, std::uint32_t> last_wave_;
+  std::uint64_t structural_changes_ = 0;
+};
+
+}  // namespace hbh::mcast::hbh

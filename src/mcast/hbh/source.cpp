@@ -1,0 +1,78 @@
+#include "mcast/hbh/source.hpp"
+
+#include "mcast/hbh/router.hpp"
+#include "util/log.hpp"
+
+namespace hbh::mcast::hbh {
+
+using net::Packet;
+using net::PacketType;
+
+void HbhSource::start() {
+  tree_timer_ = std::make_unique<sim::PeriodicTimer>(
+      simulator(), config_.tree_period, [this] { emit_tree_round(); });
+  tree_timer_->start();
+}
+
+void HbhSource::emit_tree_round() {
+  const Time now = simulator().now();
+  mft_.purge(now);
+  ++wave_;
+  for (const Ipv4Addr target : mft_.tree_targets(now)) {
+    Packet tree;
+    tree.src = self_addr();
+    tree.dst = target;
+    tree.channel = channel_;
+    tree.type = PacketType::kTree;
+    tree.payload = net::TreePayload{target, false, self_addr(), wave_};
+    forward(std::move(tree));
+  }
+}
+
+void HbhSource::handle(Packet&& packet, NodeId from) {
+  (void)from;
+  const Time now = simulator().now();
+  if (packet.channel != channel_ || packet.dst != self_addr()) {
+    net::ProtocolAgent::handle(std::move(packet), from);
+    return;
+  }
+  switch (packet.type) {
+    case PacketType::kJoin: {
+      // Full refresh; a new receiver gets a fresh entry and will receive
+      // tree(S, R) from the next round onward.
+      SoftEntry& entry = mft_.upsert(packet.join().receiver, config_, now);
+      (void)entry;  // marked flag (if any) survives the refresh
+      log(LogLevel::kTrace, "source accepts join(",
+          packet.join().receiver.to_string(), ")");
+      return;
+    }
+    case PacketType::kFusion:
+      mft_.purge(now);
+      apply_fusion(mft_, packet.fusion(), config_, now);
+      log(LogLevel::kDebug, "source MFT after fusion: ", mft_.to_string(now));
+      return;
+    case PacketType::kTree:
+    case PacketType::kData:
+    case PacketType::kPimJoin:
+    case PacketType::kPimPrune:
+      return;  // not meaningful at the source; drop
+  }
+}
+
+std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+  const Time now = simulator().now();
+  mft_.purge(now);
+  const auto targets = mft_.data_targets(now);
+  for (const Ipv4Addr target : targets) {
+    Packet data;
+    data.src = self_addr();
+    data.dst = target;
+    data.channel = channel_;
+    data.type = PacketType::kData;
+    data.payload = net::DataPayload{probe, seq, now, false};
+    forward(std::move(data));
+  }
+  return targets.size();
+}
+
+}  // namespace hbh::mcast::hbh

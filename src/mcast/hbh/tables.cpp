@@ -1,0 +1,69 @@
+#include "mcast/hbh/tables.hpp"
+
+namespace hbh::mcast::hbh {
+
+SoftEntry* Mft::find(Ipv4Addr target) {
+  const auto it = entries_.find(target);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const SoftEntry* Mft::find(Ipv4Addr target) const {
+  const auto it = entries_.find(target);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+SoftEntry& Mft::upsert(Ipv4Addr target, const McastConfig& cfg, Time now) {
+  auto [it, inserted] = entries_.try_emplace(target, cfg, now);
+  if (!inserted) it->second.refresh(cfg, now);
+  return it->second;
+}
+
+std::size_t Mft::purge(Time now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.dead(now)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<Ipv4Addr> Mft::data_targets(Time now) const {
+  std::vector<Ipv4Addr> out;
+  for (const auto& [target, entry] : entries_) {
+    if (!entry.dead(now) && !entry.marked()) out.push_back(target);
+  }
+  return out;
+}
+
+std::vector<Ipv4Addr> Mft::tree_targets(Time now) const {
+  std::vector<Ipv4Addr> out;
+  for (const auto& [target, entry] : entries_) {
+    if (!entry.dead(now) && !entry.stale(now)) out.push_back(target);
+  }
+  return out;
+}
+
+std::vector<Ipv4Addr> Mft::live_targets(Time now) const {
+  std::vector<Ipv4Addr> out;
+  for (const auto& [target, entry] : entries_) {
+    if (!entry.dead(now)) out.push_back(target);
+  }
+  return out;
+}
+
+std::string Mft::to_string(Time now) const {
+  std::string out = "{";
+  bool comma = false;
+  for (const auto& [target, entry] : entries_) {
+    if (comma) out += ", ";
+    out += target.to_string() + ":" + entry.state_string(now);
+    comma = true;
+  }
+  return out + "}";
+}
+
+}  // namespace hbh::mcast::hbh

@@ -1,0 +1,181 @@
+#include "mcast/pim/router.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace hbh::mcast::pim {
+
+using net::Packet;
+using net::PacketType;
+
+std::vector<NodeId> PimRouter::oifs(const net::Channel& ch) const {
+  std::vector<NodeId> out;
+  const auto it = groups_.find(ch);
+  if (it == groups_.end()) return out;
+  for (const auto& [neighbor, entry] : it->second.oifs) {
+    if (!entry.dead(simulator().now())) out.push_back(neighbor);
+  }
+  return out;
+}
+
+void PimRouter::purge(const net::Channel& ch) {
+  const auto it = groups_.find(ch);
+  if (it == groups_.end()) return;
+  auto& oifs = it->second.oifs;
+  for (auto e = oifs.begin(); e != oifs.end();) {
+    e = e->second.dead(now()) ? oifs.erase(e) : std::next(e);
+  }
+  if (oifs.empty()) groups_.erase(it);
+}
+
+void PimRouter::handle(Packet&& packet, NodeId from) {
+  switch (packet.type) {
+    case PacketType::kPimJoin:
+      on_join(std::move(packet), from);
+      return;
+    case PacketType::kPimPrune:
+      on_prune(std::move(packet), from);
+      return;
+    case PacketType::kData:
+      on_data(std::move(packet), from);
+      return;
+    case PacketType::kJoin:
+    case PacketType::kTree:
+    case PacketType::kFusion:
+      net::ProtocolAgent::handle(std::move(packet), from);
+      return;
+  }
+}
+
+void PimRouter::on_prune(Packet&& packet, NodeId from) {
+  const net::Channel ch = packet.channel;
+  purge(ch);
+  const auto it = groups_.find(ch);
+  if (it == groups_.end()) {
+    // No local state (already expired): let the prune keep travelling so
+    // upstream state still tears down.
+    if (packet.dst != self_addr()) forward(std::move(packet));
+    return;
+  }
+  if (!from.valid()) return;
+  // Explicit fast leave: tear down the oif the prune arrived on. If other
+  // receivers share that oif, their next periodic join (<= one period)
+  // re-installs it — the standard PIM prune-override compromise.
+  it->second.oifs.erase(from);
+  if (it->second.oifs.empty()) {
+    groups_.erase(it);
+    // The branch below us is gone entirely: keep pruning upstream unless
+    // we are the tree root (the prune's addressee).
+    if (packet.dst != self_addr()) forward(std::move(packet));
+  }
+  log(LogLevel::kTrace, to_string(self()), " PIM pruned oif ",
+      to_string(from), " for ", ch.to_string());
+}
+
+void PimRouter::on_join(Packet&& packet, NodeId from) {
+  const net::Channel ch = packet.channel;
+  purge(ch);
+  if (!from.valid()) {
+    // Self-originated (shouldn't happen for routers); just forward.
+    forward(std::move(packet));
+    return;
+  }
+  GroupState& st = groups_[ch];
+  st.root = packet.pim_join().root;
+  auto [it, inserted] = st.oifs.try_emplace(from, config_, now());
+  if (!inserted) it->second.refresh(config_, now());
+  if (inserted) {
+    log(LogLevel::kTrace, to_string(self()), " PIM oif += ", to_string(from),
+        " for ", ch.to_string());
+  }
+  if (packet.dst == self_addr()) return;  // we are the root (RP) — stop
+  forward(std::move(packet));             // keep travelling toward the root
+}
+
+void PimRouter::replicate(const net::Channel& ch, const Packet& packet,
+                          NodeId skip) {
+  const auto it = groups_.find(ch);
+  if (it == groups_.end()) return;
+  for (const auto& [neighbor, entry] : it->second.oifs) {
+    if (neighbor == skip || entry.dead(now())) continue;
+    net().send_direct(self(), neighbor, packet);
+  }
+}
+
+void PimRouter::on_data(Packet&& packet, NodeId from) {
+  const net::Channel ch = packet.channel;
+  purge(ch);
+  if (packet.data().encapsulated && packet.dst == self_addr()) {
+    // We are the RP: decapsulate the register-tunnelled packet and inject
+    // it into the shared tree (group-addressed from here on).
+    Packet decap = packet;
+    decap.data().encapsulated = false;
+    decap.dst = ch.group.addr();
+    replicate(ch, decap, kNoNode);
+    return;
+  }
+  if (packet.dst == ch.group.addr()) {
+    // Group-addressed data travelling down the tree: RPF replication to
+    // all oifs except the one it arrived on.
+    replicate(ch, packet, from);
+    return;
+  }
+  // Unicast transit (e.g. register tunnel S->RP passing through).
+  net::ProtocolAgent::handle(std::move(packet), from);
+}
+
+NodeId choose_rp_delay_aware(const routing::UnicastRouting& routes,
+                             const std::vector<NodeId>& routers,
+                             NodeId source) {
+  assert(!routers.empty());
+  const auto& topo = routes.topology();
+  NodeId best = kNoNode;
+  double best_score = routing::kUnreachable;
+  for (const NodeId candidate : routers) {
+    double score = routes.path_delay(source, candidate);  // register leg
+    double down = 0;
+    std::size_t n = 0;
+    for (const NodeId other : routers) {
+      if (other == candidate) continue;
+      // Shared-tree data path to `other`: the reverse of other->rp,
+      // traversed in the data direction.
+      const auto up = routes.path(other, candidate);
+      Time delay = 0;
+      for (std::size_t i = 0; i + 1 < up.size(); ++i) {
+        const auto link = topo.find_link(up[i + 1], up[i]);
+        assert(link.has_value());
+        delay += topo.edge(*link).attrs.delay;
+      }
+      down += delay;
+      ++n;
+    }
+    if (n != 0) score += down / static_cast<double>(n);
+    if (score < best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+NodeId choose_rp(const routing::UnicastRouting& routes,
+                 const std::vector<NodeId>& routers) {
+  assert(!routers.empty());
+  NodeId best = kNoNode;
+  double best_total = routing::kUnreachable;
+  for (const NodeId candidate : routers) {
+    double total = 0;
+    for (const NodeId other : routers) {
+      if (other == candidate) continue;
+      total += routes.distance(candidate, other);
+    }
+    if (total < best_total) {
+      best_total = total;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace hbh::mcast::pim

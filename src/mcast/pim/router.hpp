@@ -1,0 +1,72 @@
+// PIM-style baseline routers (the paper's §4.2 "PIM-SM" and "PIM-SS").
+//
+// Both protocols build *reverse* shortest-path trees by propagating joins
+// hop-by-hop toward a root (the source for PIM-SS ≡ PIM-SSM's tree shape;
+// the rendez-vous point for PIM-SM's shared tree). Every router on a join
+// path records the neighbor the join arrived from as an outgoing
+// interface (oif) for the group, then forwards the join toward the root.
+// Data flows down the installed oifs via true multicast replication —
+// RPF guarantees at most one copy of a packet per link.
+//
+// PIM-SM data path: the source unicast-encapsulates data to the RP
+// (register tunnel); the RP router decapsulates and injects it into the
+// shared tree. Receiver delay is therefore delay(S->RP shortest path) +
+// delay down the reverse path RP->r — the two-part path of §4.2.2.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "mcast/common/soft_state.hpp"
+#include "net/network.hpp"
+#include "routing/unicast.hpp"
+
+namespace hbh::mcast::pim {
+
+class PimRouter : public net::ProtocolAgent {
+ public:
+  explicit PimRouter(McastConfig config) : config_(config) {}
+
+  void handle(net::Packet&& packet, NodeId from) override;
+
+  /// Outgoing interfaces currently installed for a channel (tests).
+  [[nodiscard]] std::vector<NodeId> oifs(const net::Channel& ch) const;
+
+ private:
+  struct GroupState {
+    Ipv4Addr root;
+    std::map<NodeId, SoftEntry> oifs;  ///< downstream neighbor -> liveness
+  };
+
+  void on_join(net::Packet&& packet, NodeId from);
+  void on_prune(net::Packet&& packet, NodeId from);
+  void on_data(net::Packet&& packet, NodeId from);
+  void purge(const net::Channel& ch);
+
+  /// Replicates `packet` to every live oif except `skip`.
+  void replicate(const net::Channel& ch, const net::Packet& packet,
+                 NodeId skip);
+
+  [[nodiscard]] Time now() const { return simulator().now(); }
+
+  McastConfig config_;
+  std::unordered_map<net::Channel, GroupState> groups_;
+};
+
+/// Picks the rendez-vous point for PIM-SM: the router minimizing the total
+/// shortest-path cost toward all other routers (an outbound medoid — the
+/// paper does not specify RP placement; see DESIGN.md §5).
+[[nodiscard]] NodeId choose_rp(const routing::UnicastRouting& routes,
+                               const std::vector<NodeId>& routers);
+
+/// Delay-aware RP placement: minimizes the expected PIM-SM receiver delay
+/// — the register leg dist(source -> rp) plus the mean data-direction
+/// delay down the shared tree (the reverse of each router's rp-bound
+/// shortest path). This is how an operator would place the RP for one
+/// dominant source, and it is what makes the paper's Fig. 8(a)
+/// "shared tree beats source tree" effect visible.
+[[nodiscard]] NodeId choose_rp_delay_aware(
+    const routing::UnicastRouting& routes, const std::vector<NodeId>& routers,
+    NodeId source);
+
+}  // namespace hbh::mcast::pim

@@ -1,0 +1,226 @@
+#include "mcast/reunite/router.hpp"
+
+#include "util/log.hpp"
+
+namespace hbh::mcast::reunite {
+
+using net::Packet;
+using net::PacketType;
+
+const ChannelState* ReuniteRouter::state(const net::Channel& ch) const {
+  const auto it = channels_.find(ch);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+void ReuniteRouter::handle(Packet&& packet, NodeId from) {
+  (void)from;
+  if (packet.dst == self_addr()) {
+    // REUNITE never addresses packets to interior routers; a self-addressed
+    // packet would loop through forward(), so sink it defensively.
+    ++net().counters().local_sink;
+    return;
+  }
+  switch (packet.type) {
+    case PacketType::kJoin:
+      on_join(std::move(packet));
+      return;
+    case PacketType::kTree:
+      on_tree(std::move(packet));
+      return;
+    case PacketType::kData:
+      on_data(std::move(packet));
+      return;
+    case PacketType::kFusion:
+    case PacketType::kPimJoin:
+    case PacketType::kPimPrune:
+      net::ProtocolAgent::handle(std::move(packet), from);
+      return;
+  }
+}
+
+void ReuniteRouter::purge(const net::Channel& ch) {
+  const auto it = channels_.find(ch);
+  if (it == channels_.end()) return;
+  ChannelState& st = it->second;
+  if (st.mct && st.mct->state.dead(now())) {
+    st.mct.reset();
+    ++structural_changes_;
+  }
+  if (st.mft) {
+    const std::size_t before = st.mft->entries.size();
+    const Ipv4Addr dst_before = st.mft->dst;
+    if (st.mft->purge(now())) {
+      st.mft.reset();
+      ++structural_changes_;
+    } else {
+      structural_changes_ += before - st.mft->entries.size();
+      if (st.mft->dst != dst_before) ++structural_changes_;
+    }
+  }
+  if (!st.mct && !st.mft) channels_.erase(it);
+}
+
+void ReuniteRouter::on_join(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  const Ipv4Addr r = packet.join().receiver;
+  // The anchoring signal: only a receiver that is NOT currently connected
+  // to the tree (no recent tree(S, r) reaching it) may create new state.
+  // A connected receiver's refresh joins travel unchanged to its existing
+  // anchor (ultimately the source's dst/entry for it), which is what keeps
+  // the root's soft state alive.
+  const bool fresh = packet.join().fresh;
+  purge(ch);
+  const auto it = channels_.find(ch);
+
+  if (it != channels_.end() && it->second.mft) {
+    Mft& mft = *it->second.mft;
+    if (mft.dst_state.stale(now())) {
+      // Fig. 2c: a stale MFT no longer intercepts joins; they reach S and
+      // re-anchor the receiver higher in the tree.
+      forward(std::move(packet));
+      return;
+    }
+    if (r == mft.dst) {
+      // dst is refreshed by tree messages only: the dst receiver's joins
+      // must keep travelling to wherever it originally joined (ultimately
+      // the source), or the upstream entry would starve and flap.
+      forward(std::move(packet));
+      return;
+    }
+    if (auto entry = mft.entries.find(r); entry != mft.entries.end()) {
+      entry->second.refresh(config_, now());
+      return;  // intercepted: r joined here
+    }
+    if (!fresh) {
+      forward(std::move(packet));  // connected receiver: refresh in transit
+      return;
+    }
+    mft.entries.emplace(r, SoftEntry{config_, now()});
+    ++structural_changes_;
+    log(LogLevel::kDebug, to_string(self()), " REUNITE: ", r.to_string(),
+        " joins here ", mft.to_string(now()));
+    return;
+  }
+
+  if (fresh && it != channels_.end() && it->second.mct) {
+    Mct& mct = *it->second.mct;
+    if (!mct.state.stale(now()) && mct.target != r) {
+      // Become a branching node: the passing flow's receiver becomes dst,
+      // the joining receiver becomes the first replicated entry.
+      ChannelState& st = it->second;
+      Mft mft;
+      mft.dst = mct.target;
+      mft.dst_state = mct.state;
+      mft.entries.emplace(r, SoftEntry{config_, now()});
+      st.mct.reset();
+      st.mft = std::move(mft);
+      structural_changes_ += 2;
+      log(LogLevel::kDebug, to_string(self()), " REUNITE becomes branching ",
+          st.mft->to_string(now()));
+      return;  // join is dropped
+    }
+  }
+  forward(std::move(packet));
+}
+
+void ReuniteRouter::on_tree(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  const net::TreePayload tree = packet.tree();
+  const Ipv4Addr r = tree.target;
+  purge(ch);
+  auto it = channels_.find(ch);
+
+  if (it != channels_.end() && it->second.mft) {
+    Mft& mft = *it->second.mft;
+    if (r != mft.dst) {
+      forward(std::move(packet));  // another branch's tree in transit
+      return;
+    }
+    if (tree.marked) {
+      // The upstream dst flow is dying: our MFT becomes stale too and
+      // stops intercepting joins; downstream learns via the same marking.
+      mft.dst_state.expire_t1(now());
+    } else {
+      mft.dst_state.refresh(config_, now());
+    }
+    // Replicate at most once per source refresh wave (replicas inherit the
+    // wave id): a token circling back through a transient dst/entry cycle
+    // cannot re-trigger replication, so every refresh chain stays rooted
+    // at the source.
+    bool replicate = true;
+    auto [wave_it, first] = last_wave_.try_emplace(ch, tree.wave);
+    if (!first) {
+      if (tree.wave <= wave_it->second) {
+        replicate = false;
+      } else {
+        wave_it->second = tree.wave;
+      }
+    }
+    if (replicate) {
+      TreePacer& pacer = pacers_[ch];
+      pacer.expire(now(), 10 * config_.tree_period);
+      for (const auto& [target, entry] : mft.entries) {
+        if (entry.dead(now())) continue;
+        if (!pacer.allow(target, now(), 0.5 * config_.tree_period)) continue;
+        Packet out;
+        out.src = ch.source;
+        out.dst = target;
+        out.channel = ch;
+        out.type = PacketType::kTree;
+        out.payload =
+            net::TreePayload{target, entry.stale(now()), self_addr(), tree.wave};
+        forward(std::move(out));
+      }
+    }
+    forward(std::move(packet));  // original continues toward dst
+    return;
+  }
+
+  // Non-branching router.
+  if (tree.marked) {
+    if (it != channels_.end() && it->second.mct &&
+        it->second.mct->target == r) {
+      it->second.mct.reset();
+      ++structural_changes_;
+      if (!it->second.mft) channels_.erase(it);
+    }
+    forward(std::move(packet));
+    return;
+  }
+  if (it == channels_.end() || !it->second.mct) {
+    channels_[ch].mct = Mct{r, SoftEntry{config_, now()}};
+    ++structural_changes_;
+  } else if (it->second.mct->target == r) {
+    it->second.mct->state.refresh(config_, now());
+  } else if (it->second.mct->state.stale(now())) {
+    it->second.mct->target = r;
+    it->second.mct->state.refresh(config_, now());
+    ++structural_changes_;
+  }
+  // else: a second flow through a non-branching router is NOT recorded —
+  // REUNITE only branches on join interception (Fig. 3's pathology).
+  forward(std::move(packet));
+}
+
+void ReuniteRouter::on_data(Packet&& packet) {
+  const net::Channel ch = packet.channel;
+  const auto it = channels_.find(ch);
+  if (it != channels_.end() && it->second.mft &&
+      packet.dst == it->second.mft->dst) {
+    Mft& mft = *it->second.mft;
+    // Replicate each distinct packet once; a looped-back copy (transient
+    // asymmetric-routing cycle) is forwarded but not re-replicated.
+    if (guards_[ch].first_time(packet.data().probe, packet.data().seq)) {
+      for (const Ipv4Addr target : mft.data_copy_targets(now())) {
+        Packet copy = packet;
+        copy.dst = target;
+        forward(std::move(copy));
+      }
+    }
+    forward(std::move(packet));  // original keeps flowing toward dst
+    return;
+  }
+  forward(std::move(packet));
+}
+
+}  // namespace hbh::mcast::reunite

@@ -1,0 +1,102 @@
+#include "mcast/reunite/source.hpp"
+
+#include "util/log.hpp"
+
+namespace hbh::mcast::reunite {
+
+using net::Packet;
+using net::PacketType;
+
+void ReuniteSource::start() {
+  tree_timer_ = std::make_unique<sim::PeriodicTimer>(
+      simulator(), config_.tree_period, [this] { emit_tree_round(); });
+  tree_timer_->start();
+}
+
+void ReuniteSource::purge() {
+  if (mft_ && mft_->purge(simulator().now())) mft_.reset();
+}
+
+void ReuniteSource::emit_tree_round() {
+  const Time now = simulator().now();
+  purge();
+  if (!mft_) return;
+  ++wave_;
+  // tree(S, dst), marked once dst went stale (announces the dying flow).
+  const auto emit = [&](Ipv4Addr target, bool marked) {
+    Packet tree;
+    tree.src = self_addr();
+    tree.dst = target;
+    tree.channel = channel_;
+    tree.type = PacketType::kTree;
+    tree.payload = net::TreePayload{target, marked, self_addr(), wave_};
+    forward(std::move(tree));
+  };
+  emit(mft_->dst, mft_->dst_state.stale(now));
+  for (const auto& [target, entry] : mft_->entries) {
+    if (!entry.dead(now)) emit(target, entry.stale(now));
+  }
+}
+
+void ReuniteSource::handle(Packet&& packet, NodeId from) {
+  (void)from;
+  const Time now = simulator().now();
+  if (packet.channel != channel_ || packet.dst != self_addr()) {
+    net::ProtocolAgent::handle(std::move(packet), from);
+    return;
+  }
+  if (packet.type != PacketType::kJoin) return;  // only joins reach S
+  purge();
+  const Ipv4Addr r = packet.join().receiver;
+  if (mft_) {
+    if (r == mft_->dst) {
+      mft_->dst_state.refresh(config_, now);
+      return;
+    }
+    if (auto it = mft_->entries.find(r); it != mft_->entries.end()) {
+      it->second.refresh(config_, now);
+      return;
+    }
+  }
+  if (!packet.join().fresh) {
+    // A refresh join for a receiver we don't know: it is anchored at some
+    // branching node whose state briefly let the join through. Anchoring
+    // it here too would double-serve it; once truly disconnected it will
+    // send fresh joins.
+    return;
+  }
+  if (!mft_) {
+    // The very first receiver becomes MFT<S>.dst: data will be addressed
+    // to it and replicated downstream.
+    mft_.emplace();
+    mft_->dst = r;
+    mft_->dst_state = SoftEntry{config_, now};
+    log(LogLevel::kDebug, "REUNITE source dst=", r.to_string());
+    return;
+  }
+  mft_->entries.emplace(r, SoftEntry{config_, now});
+  log(LogLevel::kDebug, "REUNITE source adds ", r.to_string(), " ",
+      mft_->to_string(now));
+}
+
+std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+  const Time now = simulator().now();
+  purge();
+  if (!mft_) return 0;
+  std::size_t copies = 0;
+  const auto emit = [&](Ipv4Addr target) {
+    Packet data;
+    data.src = self_addr();
+    data.dst = target;
+    data.channel = channel_;
+    data.type = PacketType::kData;
+    data.payload = net::DataPayload{probe, seq, now, false};
+    forward(std::move(data));
+    ++copies;
+  };
+  emit(mft_->dst);  // stale dst keeps receiving data until t2 (§2.3)
+  for (const Ipv4Addr target : mft_->data_copy_targets(now)) emit(target);
+  return copies;
+}
+
+}  // namespace hbh::mcast::reunite

@@ -1,0 +1,37 @@
+#include "mcast/reunite/tables.hpp"
+
+namespace hbh::mcast::reunite {
+
+bool Mft::purge(Time now) {
+  for (auto it = entries.begin(); it != entries.end();) {
+    it = it->second.dead(now) ? entries.erase(it) : std::next(it);
+  }
+  if (dst_state.dead(now)) {
+    if (entries.empty()) return true;  // nothing left below: destroy MFT
+    // Promote the first live entry: data will now be addressed to it.
+    dst = entries.begin()->first;
+    dst_state = entries.begin()->second;
+    entries.erase(entries.begin());
+  }
+  return false;
+}
+
+std::vector<Ipv4Addr> Mft::data_copy_targets(Time now) const {
+  std::vector<Ipv4Addr> out;
+  out.reserve(entries.size());
+  for (const auto& [r, entry] : entries) {
+    if (!entry.dead(now)) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Mft::to_string(Time now) const {
+  std::string out = "{dst=" + dst.to_string() + ":" +
+                    dst_state.state_string(now);
+  for (const auto& [r, entry] : entries) {
+    out += ", " + r.to_string() + ":" + entry.state_string(now);
+  }
+  return out + "}";
+}
+
+}  // namespace hbh::mcast::reunite

@@ -1,0 +1,54 @@
+// REUNITE's tables, implemented from Stoica et al. [21] as summarized in
+// the paper's §2.1–2.3.
+//
+// Differences from HBH (deliberate — these cause the pathologies HBH
+// fixes): the MFT has a special `dst` field holding the *first receiver*
+// that joined below this node; data packets stay addressed to dst and are
+// replicated toward the other entries; entries store receiver addresses
+// (never branching-router addresses); there are no marked entries, but
+// tree messages can be marked to announce a dying dst flow.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcast/common/soft_state.hpp"
+#include "util/ipv4.hpp"
+
+namespace hbh::mcast::reunite {
+
+/// Control entry of a non-branching on-tree router: the receiver whose
+/// tree messages flow through here.
+struct Mct {
+  Ipv4Addr target;
+  SoftEntry state;
+};
+
+/// Forwarding table of a branching router (or the source).
+struct Mft {
+  Ipv4Addr dst;                          ///< MFT<S>.dst — first receiver
+  SoftEntry dst_state;
+  std::map<Ipv4Addr, SoftEntry> entries; ///< receivers joined at this node
+
+  /// Removes dead entries; if dst died, promotes the first live entry to
+  /// dst (this is the REUNITE route change on departure the paper
+  /// criticizes). Returns true if the whole MFT should be destroyed.
+  bool purge(Time now);
+
+  /// Receivers receiving replicated data copies (all non-dead entries;
+  /// stale entries keep receiving data until t2 — §2.3).
+  [[nodiscard]] std::vector<Ipv4Addr> data_copy_targets(Time now) const;
+
+  [[nodiscard]] std::string to_string(Time now) const;
+};
+
+struct ChannelState {
+  std::optional<Mct> mct;
+  std::optional<Mft> mft;
+
+  [[nodiscard]] bool branching() const noexcept { return mft.has_value(); }
+};
+
+}  // namespace hbh::mcast::reunite

@@ -1,0 +1,40 @@
+// The source-specific channel abstraction <S, G> (EXPRESS / HBH §2.1).
+//
+// A channel is identified by the pair of the source's unicast address S and
+// a class-D group address G allocated by the source. Concatenating the two
+// makes the identifier globally unique without coordination — the property
+// HBH borrows from EXPRESS to stay compatible with IP Multicast addressing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/ipv4.hpp"
+
+namespace hbh::net {
+
+struct Channel {
+  Ipv4Addr source;   ///< S: unicast address of the channel source.
+  GroupAddr group;   ///< G: class-D group address allocated by S.
+
+  [[nodiscard]] bool valid() const noexcept {
+    return !source.unspecified() && group.valid();
+  }
+  [[nodiscard]] std::string to_string() const {
+    return "<" + source.to_string() + ", " + group.to_string() + ">";
+  }
+
+  friend constexpr bool operator==(const Channel&, const Channel&) = default;
+  friend constexpr auto operator<=>(const Channel&, const Channel&) = default;
+};
+
+}  // namespace hbh::net
+
+template <>
+struct std::hash<hbh::net::Channel> {
+  std::size_t operator()(const hbh::net::Channel& c) const noexcept {
+    const std::size_t h1 = std::hash<hbh::Ipv4Addr>{}(c.source);
+    const std::size_t h2 = std::hash<hbh::GroupAddr>{}(c.group);
+    return h1 ^ (h2 + 0x9E3779B97F4A7C15ull + (h1 << 6) + (h1 >> 2));
+  }
+};

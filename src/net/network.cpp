@@ -1,0 +1,155 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace hbh::net {
+
+Ipv4Addr node_address(NodeId n) {
+  assert(n.valid());
+  const std::uint32_t i = n.index();
+  assert(i < (1u << 16));
+  return Ipv4Addr{static_cast<std::uint8_t>(10),
+                  static_cast<std::uint8_t>(i >> 8),
+                  static_cast<std::uint8_t>(i & 0xFF),
+                  static_cast<std::uint8_t>(1)};
+}
+
+void ProtocolAgent::handle(Packet&& packet, NodeId from) {
+  if (packet.dst == addr_) {
+    deliver_local(std::move(packet), from);
+  } else {
+    forward(std::move(packet));
+  }
+}
+
+sim::Simulator& ProtocolAgent::simulator() const noexcept {
+  return net_->simulator();
+}
+
+void ProtocolAgent::forward(Packet&& packet) {
+  net_->send(node_, std::move(packet));
+}
+
+void ProtocolAgent::deliver_local(Packet&& packet, NodeId from) {
+  (void)from;
+  ++net_->counters().local_sink;
+  log(LogLevel::kTrace, to_string(node_), " sink ", packet.describe());
+}
+
+Network::Network(sim::Simulator& simulator, const Topology& topo,
+                 const routing::UnicastRouting& routes)
+    : sim_(simulator), topo_(topo), routes_(&routes) {
+  agents_.resize(topo.node_count());
+  addr_to_node_.reserve(topo.node_count());
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    const NodeId n{i};
+    addr_to_node_.emplace(node_address(n), n);
+    attach(n, std::make_unique<ProtocolAgent>());
+  }
+}
+
+Ipv4Addr Network::address_of(NodeId n) const {
+  assert(topo_.contains(n));
+  return node_address(n);
+}
+
+NodeId Network::node_of(Ipv4Addr a) const {
+  const auto it = addr_to_node_.find(a);
+  return it == addr_to_node_.end() ? kNoNode : it->second;
+}
+
+ProtocolAgent& Network::attach(NodeId n, std::unique_ptr<ProtocolAgent> agent) {
+  assert(topo_.contains(n));
+  assert(agent != nullptr);
+  agent->net_ = this;
+  agent->node_ = n;
+  agent->addr_ = node_address(n);
+  agents_[n.index()] = std::move(agent);
+  return *agents_[n.index()];
+}
+
+ProtocolAgent& Network::agent(NodeId n) const {
+  assert(topo_.contains(n));
+  return *agents_[n.index()];
+}
+
+void Network::start() {
+  for (const auto& agent : agents_) agent->start();
+}
+
+void Network::send(NodeId from, Packet packet) {
+  assert(topo_.contains(from));
+  const NodeId dst = node_of(packet.dst);
+  if (!dst.valid()) {
+    drop(from, packet, "unknown-destination");
+    return;
+  }
+  if (dst == from) {
+    // Self-addressed: deliver locally after zero delay (still through the
+    // event queue so handling order stays deterministic).
+    sim_.schedule(0, [this, from, p = std::move(packet)]() mutable {
+      agents_[from.index()]->handle(std::move(p), kNoNode);
+    });
+    return;
+  }
+  const NodeId next = routes_->next_hop(from, dst);
+  if (!next.valid()) {
+    drop(from, packet, "no-route");
+    return;
+  }
+  if (packet.ttl <= 0) {
+    drop(from, packet, "ttl-expired");
+    return;
+  }
+  --packet.ttl;
+  const auto link = topo_.find_link(from, next);
+  assert(link.has_value());  // routing only uses existing edges
+  transmit(*link, std::move(packet));
+}
+
+void Network::send_direct(NodeId from, NodeId neighbor, Packet packet) {
+  assert(topo_.contains(from) && topo_.contains(neighbor));
+  const auto link = topo_.find_link(from, neighbor);
+  assert(link.has_value());
+  if (packet.ttl <= 0) {
+    drop(from, packet, "ttl-expired");
+    return;
+  }
+  --packet.ttl;
+  transmit(*link, std::move(packet));
+}
+
+void Network::transmit(LinkId link, Packet packet) {
+  const Topology::Edge& edge = topo_.edge(link);
+  ++counters_.transmissions;
+  if (packet.type == PacketType::kData) {
+    ++counters_.data_transmissions;
+  } else {
+    ++counters_.control_transmissions;
+  }
+  if (tap_ != nullptr) tap_->on_transmit(edge, packet, sim_.now());
+  log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to), " ",
+      packet.describe());
+  const NodeId to = edge.to;
+  const NodeId from = edge.from;
+  sim_.schedule(edge.attrs.delay,
+                [this, to, from, p = std::move(packet)]() mutable {
+                  agents_[to.index()]->handle(std::move(p), from);
+                });
+}
+
+void Network::drop(NodeId at, const Packet& packet, std::string_view reason) {
+  if (reason == "ttl-expired") {
+    ++counters_.drops_ttl;
+  } else {
+    ++counters_.drops_no_route;
+  }
+  if (tap_ != nullptr) tap_->on_drop(at, packet, reason, sim_.now());
+  log(LogLevel::kDebug, to_string(at), " drop(", reason, ") ",
+      packet.describe());
+}
+
+}  // namespace hbh::net

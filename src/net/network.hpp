@@ -1,0 +1,157 @@
+// The network fabric: binds topology, unicast routing, and per-node
+// protocol agents to the discrete-event simulator.
+//
+// Packet life cycle: an agent calls send() (routed hop-by-hop toward the
+// packet's unicast destination) or send_direct() (across one named link —
+// how true multicast forwarding like PIM's RPF trees is modelled). Each
+// transmission is delayed by the directed link's propagation delay and
+// observed by an optional PacketTap, which the metrics module uses to count
+// per-link copies (tree cost) and per-receiver delays.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "routing/unicast.hpp"
+#include "sim/simulator.hpp"
+#include "util/ipv4.hpp"
+
+namespace hbh::net {
+
+class Network;
+
+/// Per-node protocol logic. An agent sees *every* packet arriving at its
+/// node — whether addressed to it or transiting — which is exactly what
+/// hop-by-hop protocols like HBH require (join interception, tree
+/// processing). The base implementation is a plain unicast router.
+class ProtocolAgent {
+ public:
+  virtual ~ProtocolAgent() = default;
+
+  /// Called once when the simulation starts (after all agents attach).
+  virtual void start() {}
+
+  /// Called for each packet arriving at this node from neighbor `from`
+  /// (kNoNode when the packet was locally originated or self-addressed).
+  /// Default: deliver if addressed to self, else forward by unicast.
+  virtual void handle(Packet&& packet, NodeId from);
+
+  [[nodiscard]] NodeId self() const noexcept { return node_; }
+  [[nodiscard]] Ipv4Addr self_addr() const noexcept { return addr_; }
+
+ protected:
+  [[nodiscard]] Network& net() const noexcept { return *net_; }
+  [[nodiscard]] sim::Simulator& simulator() const noexcept;
+
+  /// Routes `packet` toward its destination from this node.
+  void forward(Packet&& packet);
+
+  /// A packet addressed to this node reached it. Default: drop silently
+  /// (counted); protocol agents override handle() instead.
+  virtual void deliver_local(Packet&& packet, NodeId from);
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId node_{};
+  Ipv4Addr addr_{};
+};
+
+/// Observer of fabric activity; used by metrics probes and trace tooling.
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+  virtual void on_transmit(const Topology::Edge& edge, const Packet& packet,
+                           Time now) {
+    (void)edge, (void)packet, (void)now;
+  }
+  virtual void on_drop(NodeId at, const Packet& packet,
+                       std::string_view reason, Time now) {
+    (void)at, (void)packet, (void)reason, (void)now;
+  }
+};
+
+/// Aggregate fabric counters (cheap always-on accounting).
+struct NetworkCounters {
+  std::uint64_t transmissions = 0;
+  std::uint64_t data_transmissions = 0;
+  std::uint64_t control_transmissions = 0;
+  std::uint64_t drops_ttl = 0;
+  std::uint64_t drops_no_route = 0;
+  std::uint64_t local_sink = 0;  ///< packets consumed by the default agent
+};
+
+class Network {
+ public:
+  /// The topology and routing must outlive the network.
+  Network(sim::Simulator& simulator, const Topology& topo,
+          const routing::UnicastRouting& routes);
+
+  /// The unicast address assigned to node `n` (10.x.y.1 by node index).
+  [[nodiscard]] Ipv4Addr address_of(NodeId n) const;
+
+  /// Reverse lookup; kNoNode for unknown addresses.
+  [[nodiscard]] NodeId node_of(Ipv4Addr a) const;
+
+  /// Installs the protocol agent for a node (replacing any previous one).
+  /// Returns a reference to the installed agent.
+  ProtocolAgent& attach(NodeId n, std::unique_ptr<ProtocolAgent> agent);
+
+  /// The agent at `n`; every node always has one (default unicast router).
+  [[nodiscard]] ProtocolAgent& agent(NodeId n) const;
+
+  /// Calls start() on every agent. Invoke once before running the sim.
+  void start();
+
+  /// Sends `packet` from node `from` toward packet.dst along unicast
+  /// routing. Decrements TTL; drops on TTL expiry or missing route.
+  /// If the destination is `from` itself the packet is delivered locally
+  /// after zero delay.
+  void send(NodeId from, Packet packet);
+
+  /// Transmits `packet` across the specific link from->neighbor (which must
+  /// exist). Used for multicast (RPF) forwarding along installed oifs.
+  void send_direct(NodeId from, NodeId neighbor, Packet packet);
+
+  void set_tap(PacketTap* tap) noexcept { tap_ = tap; }
+
+  [[nodiscard]] const NetworkCounters& counters() const noexcept {
+    return counters_;
+  }
+  NetworkCounters& counters() noexcept { return counters_; }
+
+  [[nodiscard]] sim::Simulator& simulator() const noexcept { return sim_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const routing::UnicastRouting& routes() const noexcept {
+    return *routes_;
+  }
+
+  /// Swaps in freshly computed routes (e.g. after a link failure). Models
+  /// instantaneous IGP reconvergence; in-flight packets are unaffected.
+  void rebind_routes(const routing::UnicastRouting& routes) noexcept {
+    routes_ = &routes;
+  }
+
+ private:
+  void transmit(LinkId link, Packet packet);
+  void drop(NodeId at, const Packet& packet, std::string_view reason);
+
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  const routing::UnicastRouting* routes_;
+  std::vector<std::unique_ptr<ProtocolAgent>> agents_;
+  std::unordered_map<Ipv4Addr, NodeId> addr_to_node_;
+  PacketTap* tap_ = nullptr;
+  NetworkCounters counters_;
+};
+
+/// Computes the 10.x.y.1 address for a node index (stable scheme used by
+/// Network; exposed for tests and pretty-printing).
+[[nodiscard]] Ipv4Addr node_address(NodeId n);
+
+}  // namespace hbh::net

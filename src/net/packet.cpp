@@ -1,0 +1,58 @@
+#include "net/packet.hpp"
+
+namespace hbh::net {
+
+std::string to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData:
+      return "data";
+    case PacketType::kJoin:
+      return "join";
+    case PacketType::kTree:
+      return "tree";
+    case PacketType::kFusion:
+      return "fusion";
+    case PacketType::kPimJoin:
+      return "pim-join";
+    case PacketType::kPimPrune:
+      return "pim-prune";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  std::string out = to_string(type) + " " + channel.to_string() + " " +
+                    src.to_string() + "->" + dst.to_string();
+  switch (type) {
+    case PacketType::kJoin:
+      out += " R=" + join().receiver.to_string();
+      if (join().first) out += " first";
+      break;
+    case PacketType::kTree:
+      out += " R=" + tree().target.to_string();
+      if (tree().marked) out += " marked";
+      break;
+    case PacketType::kFusion: {
+      out += " [";
+      bool comma = false;
+      for (const auto& r : fusion().receivers) {
+        if (comma) out += ",";
+        out += r.to_string();
+        comma = true;
+      }
+      out += "] from=" + fusion().origin.to_string();
+      break;
+    }
+    case PacketType::kPimJoin:
+    case PacketType::kPimPrune:
+      out += " root=" + pim_join().root.to_string();
+      break;
+    case PacketType::kData:
+      out += " seq=" + std::to_string(data().seq);
+      if (data().encapsulated) out += " encap";
+      break;
+  }
+  return out;
+}
+
+}  // namespace hbh::net

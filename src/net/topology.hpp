@@ -1,0 +1,98 @@
+// Directed network topology with independent per-direction link attributes.
+//
+// The paper's central observation is that unicast routing is *asymmetric*:
+// c(n1,n2) and c(n2,n1) are drawn independently (integers in [1,10], §4.1).
+// We therefore model every link as a pair of directed edges, each with its
+// own cost (used by unicast routing) and propagation delay (used by the
+// simulator; the reproduction sets delay = cost, see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace hbh::net {
+
+enum class NodeKind : std::uint8_t {
+  kRouter,  ///< forwards packets; may be multicast-capable
+  kHost,    ///< end system: source or receiver, degree-1 in our topologies
+};
+
+struct LinkAttrs {
+  double cost = 1.0;  ///< unicast routing metric
+  Time delay = 1.0;   ///< propagation delay in time units
+};
+
+class Topology {
+ public:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    LinkAttrs attrs;
+  };
+
+  /// Adds a node of the given kind; returns its id (dense, starting at 0).
+  NodeId add_node(NodeKind kind = NodeKind::kRouter);
+
+  /// Adds a directed edge. Requires both endpoints to exist, from != to,
+  /// and no existing edge from->to.
+  LinkId add_link(NodeId from, NodeId to, LinkAttrs attrs);
+
+  /// Adds the two directed edges of a duplex link, with per-direction
+  /// attributes (the common case in this reproduction).
+  void add_duplex(NodeId a, NodeId b, LinkAttrs ab, LinkAttrs ba);
+
+  /// Symmetric convenience: same attributes in both directions.
+  void add_duplex(NodeId a, NodeId b, LinkAttrs both) {
+    add_duplex(a, b, both, both);
+  }
+
+  /// Replaces the attributes of an existing edge.
+  void set_attrs(LinkId link, LinkAttrs attrs);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return kinds_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] NodeKind kind(NodeId n) const;
+  [[nodiscard]] const Edge& edge(LinkId l) const;
+
+  /// Outgoing edges of `n`.
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId n) const;
+
+  /// The edge from->to, if present.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId from, NodeId to) const;
+
+  /// All node ids of a given kind, ascending.
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  /// Out-degree of `n`.
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return out_links(n).size();
+  }
+
+  /// Mean out-degree over routers only (hosts excluded), the statistic the
+  /// paper quotes (3.3 for the ISP topology, 8.6 for the random one).
+  [[nodiscard]] double average_router_degree(bool count_host_links = false) const;
+
+  /// True if every node can reach every other following directed edges.
+  [[nodiscard]] bool strongly_connected() const;
+
+  /// Validity check for ids coming from external input.
+  [[nodiscard]] bool contains(NodeId n) const noexcept {
+    return n.valid() && n.index() < kinds_.size();
+  }
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<LinkId>> out_;
+};
+
+}  // namespace hbh::net

@@ -1,0 +1,46 @@
+// Wire encoding of HBH/REUNITE/PIM simulation packets.
+//
+// The paper defines no on-the-wire format, so this is this
+// implementation's own (documented in docs/PROTOCOL.md): a 20-byte common
+// header followed by a per-type payload, all fields big-endian. In the
+// simulator it serves two purposes: the control-overhead benches report
+// honest byte counts, and the codec round-trip is fuzz/property tested as
+// any production parser should be.
+//
+//   common header (20 bytes):
+//     0      version(hi nibble)=1 | type(lo nibble)
+//     1      flags   (bit0 FIRST, bit1 FRESH, bit2 MARKED, bit3 ENCAP)
+//     2      ttl
+//     3      reserved (0)
+//     4..7   src IPv4
+//     8..11  dst IPv4
+//     12..15 channel source S
+//     16..19 channel group G
+//   payload:
+//     join:     receiver(4)
+//     tree:     target(4) last_branch(4) wave(4)
+//     fusion:   origin(4) count(2) receiver(4)*count
+//     pim-join: root(4) receiver(4)
+//     data:     probe(8) seq(4) sent_at(8, IEEE-754 big-endian)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace hbh::net {
+
+/// Serializes a packet. Never fails for well-formed packets.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Packet& packet);
+
+/// Parses a packet; nullopt on any malformed input (short buffer, unknown
+/// version/type, truncated fusion list, trailing garbage).
+[[nodiscard]] std::optional<Packet> decode(std::span<const std::uint8_t> wire);
+
+/// Exact encoded size in bytes (without building the buffer).
+[[nodiscard]] std::size_t encoded_size(const Packet& packet);
+
+}  // namespace hbh::net

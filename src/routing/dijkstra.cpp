@@ -1,0 +1,73 @@
+#include "routing/dijkstra.hpp"
+
+#include <cassert>
+#include <queue>
+
+namespace hbh::routing {
+
+MetricFn cost_metric() {
+  return [](const net::Topology::Edge& e) { return e.attrs.cost; };
+}
+
+MetricFn delay_metric() {
+  return [](const net::Topology::Edge& e) { return e.attrs.delay; };
+}
+
+SpfResult dijkstra(const net::Topology& topo, NodeId root,
+                   const MetricFn& metric) {
+  assert(topo.contains(root));
+  const std::size_t n = topo.node_count();
+
+  SpfResult out;
+  out.root = root;
+  out.dist.assign(n, kUnreachable);
+  out.parent.assign(n, kNoNode);
+  out.first_hop.assign(n, kNoNode);
+  out.delay.assign(n, std::numeric_limits<Time>::infinity());
+
+  struct QEntry {
+    double dist;
+    std::uint64_t order;  // settle-order tie-break for determinism
+    std::uint32_t node;
+  };
+  struct Later {
+    bool operator()(const QEntry& a, const QEntry& b) const noexcept {
+      if (a.dist != b.dist) return a.dist > b.dist;
+      return a.order > b.order;
+    }
+  };
+
+  std::priority_queue<QEntry, std::vector<QEntry>, Later> frontier;
+  std::vector<bool> settled(n, false);
+  std::uint64_t order = 0;
+
+  out.dist[root.index()] = 0;
+  out.delay[root.index()] = 0;
+  frontier.push(QEntry{0.0, order++, root.index()});
+
+  while (!frontier.empty()) {
+    const QEntry top = frontier.top();
+    frontier.pop();
+    if (settled[top.node]) continue;
+    settled[top.node] = true;
+    const NodeId u{top.node};
+
+    for (const LinkId l : topo.out_links(u)) {
+      const auto& e = topo.edge(l);
+      const double w = metric(e);
+      assert(w > 0);
+      const std::size_t v = e.to.index();
+      const double candidate = out.dist[top.node] + w;
+      if (candidate < out.dist[v]) {
+        out.dist[v] = candidate;
+        out.parent[v] = u;
+        out.delay[v] = out.delay[top.node] + e.attrs.delay;
+        out.first_hop[v] = (u == root) ? e.to : out.first_hop[top.node];
+        frontier.push(QEntry{candidate, order++, static_cast<std::uint32_t>(v)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hbh::routing

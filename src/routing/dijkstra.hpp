@@ -1,0 +1,50 @@
+// Single-source shortest paths over the directed topology.
+//
+// Unicast routes in the simulation are shortest paths under the
+// per-direction link costs; because the two directions of a link have
+// independent costs, route(a,b) and route(b,a) generally differ — the
+// asymmetry at the heart of the paper. The metric is pluggable (QoS hook,
+// paper §5 future work); by default it is the link cost.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/ids.hpp"
+
+namespace hbh::routing {
+
+/// Maps an edge to its routing metric. Must be positive for every edge.
+using MetricFn = std::function<double(const net::Topology::Edge&)>;
+
+/// The default metric: the link's configured cost.
+[[nodiscard]] MetricFn cost_metric();
+
+/// The delay metric, for delay-based (QoS) routing experiments.
+[[nodiscard]] MetricFn delay_metric();
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Shortest-path tree rooted at `root`, following *outgoing* edges (so the
+/// result describes routes root -> v, matching data-plane direction).
+struct SpfResult {
+  NodeId root;
+  std::vector<double> dist;      ///< metric distance root->v; kUnreachable if none
+  std::vector<NodeId> parent;    ///< predecessor of v on the root->v path
+  std::vector<NodeId> first_hop; ///< first node after root on the root->v path
+  std::vector<Time> delay;       ///< propagation delay root->v along the path
+
+  [[nodiscard]] bool reachable(NodeId v) const {
+    return dist[v.index()] < kUnreachable;
+  }
+};
+
+/// Runs Dijkstra from `root`. Deterministic: ties are broken by preferring
+/// the path found first under ascending (distance, settle-order) expansion,
+/// with neighbor scan order fixed by edge insertion order.
+[[nodiscard]] SpfResult dijkstra(const net::Topology& topo, NodeId root,
+                                 const MetricFn& metric = cost_metric());
+
+}  // namespace hbh::routing

@@ -1,0 +1,77 @@
+#include "routing/unicast.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hbh::routing {
+
+UnicastRouting::UnicastRouting(const net::Topology& topo, MetricFn metric)
+    : topo_(topo) {
+  per_root_.reserve(topo.node_count());
+  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
+    per_root_.push_back(dijkstra(topo, NodeId{i}, metric));
+  }
+}
+
+NodeId UnicastRouting::next_hop(NodeId from, NodeId to) const {
+  assert(topo_.contains(from) && topo_.contains(to));
+  return per_root_[from.index()].first_hop[to.index()];
+}
+
+double UnicastRouting::distance(NodeId from, NodeId to) const {
+  assert(topo_.contains(from) && topo_.contains(to));
+  return per_root_[from.index()].dist[to.index()];
+}
+
+Time UnicastRouting::path_delay(NodeId from, NodeId to) const {
+  assert(topo_.contains(from) && topo_.contains(to));
+  return per_root_[from.index()].delay[to.index()];
+}
+
+std::vector<NodeId> UnicastRouting::path(NodeId from, NodeId to) const {
+  assert(topo_.contains(from) && topo_.contains(to));
+  std::vector<NodeId> nodes;
+  if (from == to) {
+    nodes.push_back(from);
+    return nodes;
+  }
+  if (!reachable(from, to)) return nodes;  // empty: no route
+  // Walk the parent chain of the SPF rooted at `from` back from `to`.
+  const SpfResult& tree = per_root_[from.index()];
+  for (NodeId at = to; at.valid(); at = tree.parent[at.index()]) {
+    nodes.push_back(at);
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  assert(nodes.front() == from && nodes.back() == to);
+  return nodes;
+}
+
+const SpfResult& UnicastRouting::spf(NodeId root) const {
+  assert(topo_.contains(root));
+  return per_root_[root.index()];
+}
+
+AsymmetryReport measure_asymmetry(const UnicastRouting& routes) {
+  AsymmetryReport report;
+  const std::size_t n = routes.topology().node_count();
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const NodeId na{a};
+      const NodeId nb{b};
+      if (!routes.reachable(na, nb) || !routes.reachable(nb, na)) continue;
+      ++report.ordered_pairs;
+      auto forward = routes.path(na, nb);
+      auto backward = routes.path(nb, na);
+      std::reverse(backward.begin(), backward.end());
+      if (forward != backward) ++report.asymmetric_pairs;
+      report.max_cost_skew =
+          std::max(report.max_cost_skew,
+                   std::abs(routes.distance(na, nb) - routes.distance(nb, na)));
+    }
+  }
+  return report;
+}
+
+}  // namespace hbh::routing

@@ -1,0 +1,72 @@
+// All-pairs unicast routing: the forwarding substrate every protocol uses.
+//
+// In the real Internet each router's FIB comes from its IGP; here we compute
+// the equivalent — for every node, the next hop toward every destination —
+// by running Dijkstra from each node over its outgoing edges. Routes are
+// destination-based and hop-by-hop consistent (the next hop's route to the
+// destination is the suffix of ours), so recursive-unicast forwarding
+// behaves exactly as it would on real routers.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+#include "util/ids.hpp"
+
+namespace hbh::routing {
+
+class UnicastRouting {
+ public:
+  /// Computes routes for the whole topology under `metric`.
+  explicit UnicastRouting(const net::Topology& topo,
+                          MetricFn metric = cost_metric());
+
+  /// Next hop on the shortest path from->to; kNoNode if to is unreachable
+  /// or from == to.
+  [[nodiscard]] NodeId next_hop(NodeId from, NodeId to) const;
+
+  /// Metric distance of the route from->to (kUnreachable if none).
+  [[nodiscard]] double distance(NodeId from, NodeId to) const;
+
+  /// Propagation delay accumulated along the route from->to.
+  [[nodiscard]] Time path_delay(NodeId from, NodeId to) const;
+
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const {
+    return distance(from, to) < kUnreachable;
+  }
+
+  /// Full node sequence of the route, inclusive of both endpoints.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return topo_;
+  }
+
+  /// The shortest-path tree rooted at `root` (routes root -> *).
+  [[nodiscard]] const SpfResult& spf(NodeId root) const;
+
+ private:
+  const net::Topology& topo_;
+  std::vector<SpfResult> per_root_;
+};
+
+/// Summary of how asymmetric a topology's routing is.
+struct AsymmetryReport {
+  std::size_t ordered_pairs = 0;      ///< pairs (a,b), a != b, both reachable
+  std::size_t asymmetric_pairs = 0;   ///< path(a,b) != reverse(path(b,a))
+  double max_cost_skew = 0.0;         ///< max |dist(a,b) - dist(b,a)|
+
+  [[nodiscard]] double asymmetric_fraction() const {
+    return ordered_pairs == 0
+               ? 0.0
+               : static_cast<double>(asymmetric_pairs) /
+                     static_cast<double>(ordered_pairs);
+  }
+};
+
+/// Measures routing asymmetry over all ordered node pairs (the statistic
+/// the paper cites from Paxson's measurements, §2.3).
+[[nodiscard]] AsymmetryReport measure_asymmetry(const UnicastRouting& routes);
+
+}  // namespace hbh::routing

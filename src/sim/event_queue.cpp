@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hbh::sim {
+
+EventId EventQueue::push(Time when, Callback fn) {
+  assert(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(fn)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  // An event is cancellable iff it is still pending: erase() distinguishes
+  // live events from already-fired or already-cancelled ones.
+  return id.valid() && pending_.erase(id.v) == 1;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);  // skip_dead is logically const
+  self->skip_dead();
+  assert(!self->heap_.empty());
+  return self->heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_dead();
+  assert(!heap_.empty());
+  // priority_queue::top() returns const&; moving the callback out requires
+  // a const_cast. The entry is popped immediately after, so this is safe.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.when, std::move(top.fn)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_.clear();
+}
+
+}  // namespace hbh::sim

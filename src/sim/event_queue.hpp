@@ -1,0 +1,77 @@
+// Deterministic discrete-event priority queue.
+//
+// Events fire in (time, sequence) order: two events scheduled for the same
+// instant execute in the order they were scheduled. That FIFO tie-break is
+// what makes every simulation in this repo bit-for-bit reproducible.
+// Cancellation is O(1) via tombstoning — cancelled events stay in the heap
+// and are skipped on pop, which is far cheaper than heap removal for the
+// soft-state timer churn the multicast protocols generate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace hbh::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+struct EventId {
+  std::uint64_t v = 0;
+  [[nodiscard]] constexpr bool valid() const noexcept { return v != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// Min-heap of timestamped callbacks with stable same-time ordering.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `fn` to fire at absolute time `when`.
+  EventId push(Time when, Callback fn);
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pops and returns the earliest event. Requires !empty().
+  struct Fired {
+    Time when;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries at the top of the heap.
+  void skip_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // live (un-fired, un-cancelled)
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace hbh::sim

@@ -1,0 +1,38 @@
+#include "topo/isp.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace hbh::topo {
+
+using net::LinkAttrs;
+using net::Topology;
+
+Scenario make_isp() {
+  Topology t;
+  std::vector<NodeId> routers;
+  routers.reserve(kIspRouters);
+  for (std::size_t i = 0; i < kIspRouters; ++i) routers.push_back(t.add_node());
+
+  // 30 duplex backbone links -> average router degree 60/18 = 3.33,
+  // matching the paper's quoted 3.3. The layout is a three-tier mesh
+  // (two coasts joined by transit rows) in the spirit of the SIGCOMM'98
+  // ISP map the paper reuses.
+  constexpr std::array<std::pair<int, int>, 30> kLinks{{
+      {0, 1},  {0, 2},   {0, 3},   {1, 2},   {1, 4},   {2, 5},
+      {3, 4},  {3, 6},   {4, 5},   {4, 7},   {5, 8},   {6, 7},
+      {6, 9},  {7, 8},   {7, 10},  {8, 11},  {9, 10},  {9, 12},
+      {10, 11}, {10, 13}, {11, 14}, {12, 13}, {12, 15}, {13, 14},
+      {13, 16}, {14, 17}, {15, 16}, {16, 17}, {6, 10},  {8, 14},
+  }};
+  for (const auto& [a, b] : kLinks) {
+    t.add_duplex(routers[static_cast<std::size_t>(a)],
+                 routers[static_cast<std::size_t>(b)], LinkAttrs{1, 1});
+  }
+  assert(t.strongly_connected());
+
+  // Hosts 18..35, one per router; host 18 (on router 0) is the source.
+  return attach_hosts(std::move(t), std::move(routers), /*source_index=*/0);
+}
+
+}  // namespace hbh::topo

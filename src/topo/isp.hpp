@@ -1,0 +1,25 @@
+// The ISP topology of Figure 6.
+//
+// The paper's first evaluation topology is "typical of a large ISP's
+// network [1]" (Apostolopoulos et al., SIGCOMM'98): 18 routers with average
+// degree ≈ 3.3, each with one attached potential receiver. Routers are
+// nodes 0..17; hosts are nodes 18..35 with host 18 (attached to router 0)
+// fixed as the channel source, exactly matching the paper's numbering.
+//
+// The exact adjacency of Fig. 6 is not machine-readable from the scan, so
+// we reconstruct an 18-router backbone with the same size, degree, and
+// diameter statistics (documented substitution — DESIGN.md §2). Costs are
+// left at 1 and are expected to be randomized per trial.
+#pragma once
+
+#include "topo/builders.hpp"
+
+namespace hbh::topo {
+
+/// Number of routers in the ISP topology.
+inline constexpr std::size_t kIspRouters = 18;
+
+/// Builds the ISP scenario: routers 0..17, hosts 18..35, source = host 18.
+[[nodiscard]] Scenario make_isp();
+
+}  // namespace hbh::topo

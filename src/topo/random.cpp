@@ -1,0 +1,144 @@
+#include "topo/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace hbh::topo {
+
+using net::LinkAttrs;
+using net::Topology;
+
+Scenario make_random(const RandomTopoParams& params, Rng& rng) {
+  const std::size_t n = params.routers;
+  assert(n >= 2);
+  const auto target_links = static_cast<std::size_t>(
+      std::lround(params.average_degree * static_cast<double>(n) / 2.0));
+  [[maybe_unused]] const std::size_t max_links = n * (n - 1) / 2;
+  assert(target_links >= n - 1 && target_links <= max_links);
+
+  Topology t;
+  std::vector<NodeId> routers;
+  routers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) routers.push_back(t.add_node());
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  const auto link = [&](std::size_t a, std::size_t b) {
+    // NB: std::minmax(x, y) on prvalues returns dangling references;
+    // build the ordered pair from values explicitly.
+    const std::uint32_t ia = routers[a].index();
+    const std::uint32_t ib = routers[b].index();
+    const std::pair<std::uint32_t, std::uint32_t> key{std::min(ia, ib),
+                                                      std::max(ia, ib)};
+    if (!used.insert(key).second) return false;
+    t.add_duplex(routers[a], routers[b], LinkAttrs{1, 1});
+    return true;
+  };
+
+  // Spanning tree: attach node i (in shuffled order) to a random earlier
+  // node, guaranteeing connectivity with exactly n-1 links.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent =
+        order[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))];
+    [[maybe_unused]] const bool added = link(order[i], parent);
+    assert(added);
+  }
+
+  // Densify with uniformly random non-duplicate pairs.
+  std::size_t links = n - 1;
+  while (links < target_links) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (a == b) continue;
+    if (link(a, b)) ++links;
+  }
+  assert(t.strongly_connected());
+
+  return attach_hosts(std::move(t), std::move(routers), /*source_index=*/0);
+}
+
+Scenario make_random50(Rng& rng) { return make_random(RandomTopoParams{}, rng); }
+
+Scenario make_waxman(const WaxmanParams& params, Rng& rng) {
+  const std::size_t n = params.routers;
+  assert(n >= 2);
+
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> pos(n);
+  for (auto& p : pos) p = Point{rng.uniform01(), rng.uniform01()};
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = pos[a].x - pos[b].x;
+    const double dy = pos[a].y - pos[b].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const double l_max = std::sqrt(2.0);
+
+  Topology t;
+  std::vector<NodeId> routers;
+  routers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) routers.push_back(t.add_node());
+
+  // Probabilistic edges.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double p =
+          params.alpha * std::exp(-dist(a, b) / (params.beta * l_max));
+      if (rng.chance(p)) t.add_duplex(routers[a], routers[b], LinkAttrs{1, 1});
+    }
+  }
+
+  // Patch connectivity: union components through their closest pair.
+  std::vector<std::size_t> component(n);
+  const auto recolor = [&] {
+    for (std::size_t i = 0; i < n; ++i) component[i] = i;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t e = 0; e < t.link_count(); ++e) {
+        const auto& edge = t.edge(LinkId{e});
+        const std::size_t ca = component[edge.from.index()];
+        const std::size_t cb = component[edge.to.index()];
+        if (ca != cb) {
+          const std::size_t lo = std::min(ca, cb);
+          for (auto& c : component) {
+            if (c == ca || c == cb) c = lo;
+          }
+          changed = true;
+        }
+      }
+    }
+  };
+  recolor();
+  for (;;) {
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    double best_d = -1;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (component[a] == component[b]) continue;
+        const double d = dist(a, b);
+        if (best_d < 0 || d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_d < 0) break;  // single component
+    t.add_duplex(routers[best_a], routers[best_b], LinkAttrs{1, 1});
+    recolor();
+  }
+  assert(t.strongly_connected());
+  return attach_hosts(std::move(t), std::move(routers), /*source_index=*/0);
+}
+
+}  // namespace hbh::topo

@@ -1,0 +1,42 @@
+// Seeded random topology generation (the paper's 50-node evaluation graph).
+//
+// §4.1: "a random-generated topology with 50 nodes and higher connectivity
+// (8.6 versus 3.3)". We generate a connected random graph with an exact
+// duplex-link budget chosen to hit the requested average router degree:
+// a uniform random spanning tree (random attachment order) guarantees
+// connectivity, then uniformly chosen extra pairs raise the density.
+#pragma once
+
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace hbh::topo {
+
+struct RandomTopoParams {
+  std::size_t routers = 50;
+  double average_degree = 8.6;  ///< router-to-router degree target
+};
+
+/// Builds a connected random scenario: `routers` routers with one host
+/// each; the source is the host of router 0. Deterministic per seed.
+[[nodiscard]] Scenario make_random(const RandomTopoParams& params, Rng& rng);
+
+/// Convenience: the paper's 50-node / degree-8.6 configuration.
+[[nodiscard]] Scenario make_random50(Rng& rng);
+
+/// Waxman (1988) geometric random graph: nodes placed uniformly in the
+/// unit square; edge (u,v) appears with probability
+///     p(u,v) = alpha * exp(-d(u,v) / (beta * L))
+/// where d is Euclidean distance and L the maximum distance. The classic
+/// Internet-topology generator (used by GT-ITM, which ns-2 studies of this
+/// era relied on). Connectivity is guaranteed by patching components with
+/// their closest inter-component pair.
+struct WaxmanParams {
+  std::size_t routers = 50;
+  double alpha = 0.25;  ///< overall edge density
+  double beta = 0.4;    ///< long-edge affinity (higher => more long links)
+};
+
+[[nodiscard]] Scenario make_waxman(const WaxmanParams& params, Rng& rng);
+
+}  // namespace hbh::topo

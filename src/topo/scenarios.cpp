@@ -1,0 +1,143 @@
+#include "topo/scenarios.hpp"
+
+namespace hbh::topo {
+
+using net::LinkAttrs;
+using net::NodeKind;
+using net::Topology;
+
+namespace {
+LinkAttrs c(double cost) { return LinkAttrs{cost, cost}; }
+}  // namespace
+
+Fig2Scenario make_fig2() {
+  Fig2Scenario f;
+  Topology& t = f.topo;
+  f.s = t.add_node(NodeKind::kHost);
+  f.h1 = t.add_node();
+  f.h2 = t.add_node();
+  f.h3 = t.add_node();
+  f.h4 = t.add_node();
+  f.r1 = t.add_node(NodeKind::kHost);
+  f.r2 = t.add_node(NodeKind::kHost);
+  f.r3 = t.add_node(NodeKind::kHost);
+
+  // Directed costs chosen so that (verified in scenario tests):
+  //   r1->S goes via H2 but S->r1 goes via H3 (the Fig. 2 asymmetry),
+  //   r2->S goes via H3 but S->r2 goes via H4,
+  //   r3's routes are symmetric through H3/H1.
+  t.add_duplex(f.s, f.h1, c(1), c(1));
+  t.add_duplex(f.s, f.h4, c(1), c(5));    // S->H4 cheap, H4->S expensive
+  t.add_duplex(f.h1, f.h2, c(5), c(1));   // H1->H2 expensive, H2->H1 cheap
+  t.add_duplex(f.h1, f.h3, c(1), c(1));
+  t.add_duplex(f.h2, f.r1, c(1), c(1));
+  t.add_duplex(f.h3, f.r1, c(1), c(5));   // H3->r1 cheap, r1->H3 expensive
+  t.add_duplex(f.h3, f.r2, c(2), c(1));   // H3->r2 pricier than S->H4->r2,
+                                          // but still H3's best route to r2
+  t.add_duplex(f.h3, f.r3, c(1), c(1));
+  t.add_duplex(f.h4, f.r2, c(1), c(5));   // H4->r2 cheap, r2->H4 expensive
+  return f;
+}
+
+Fig3Scenario make_fig3() {
+  Fig3Scenario f;
+  Topology& t = f.topo;
+  f.s = t.add_node(NodeKind::kHost);
+  f.w1 = t.add_node();
+  f.w2 = t.add_node();
+  f.w3 = t.add_node();
+  f.w4 = t.add_node();
+  f.w5 = t.add_node();
+  f.w6 = t.add_node();
+  f.r1 = t.add_node(NodeKind::kHost);
+  f.r2 = t.add_node(NodeKind::kHost);
+
+  // Downstream traffic prefers R1->R6->{R4,R5}; upstream joins prefer
+  // {R4,R5}->{R2,R3}->R1 (verified in scenario tests).
+  t.add_duplex(f.s, f.w1, c(1), c(1));
+  t.add_duplex(f.w1, f.w2, c(5), c(1));
+  t.add_duplex(f.w1, f.w3, c(5), c(1));
+  t.add_duplex(f.w1, f.w6, c(1), c(5));
+  t.add_duplex(f.w2, f.w4, c(1), c(1));
+  t.add_duplex(f.w3, f.w5, c(1), c(1));
+  t.add_duplex(f.w6, f.w4, c(1), c(5));
+  t.add_duplex(f.w6, f.w5, c(1), c(5));
+  t.add_duplex(f.w4, f.r1, c(1), c(1));
+  t.add_duplex(f.w5, f.r2, c(1), c(1));
+  return f;
+}
+
+HotPotatoScenario make_hot_potato() {
+  HotPotatoScenario h;
+  Topology& t = h.topo;
+  h.a1 = t.add_node();
+  h.a2 = t.add_node();
+  h.a3 = t.add_node();
+  h.b1 = t.add_node();
+  h.b2 = t.add_node();
+  h.b3 = t.add_node();
+  h.src = t.add_node(NodeKind::kHost);
+  h.rx_west = t.add_node(NodeKind::kHost);
+  h.rx_east = t.add_node(NodeKind::kHost);
+
+  // Long-haul backbones, priced per direction so that each ISP dumps
+  // cross-network traffic at the nearest peering point ("hot potato"):
+  // A's eastbound->westbound direction is expensive (A won't haul its
+  // customers' traffic across the country), B's westbound->eastbound
+  // likewise. The resulting unicast routes between src (east, ISP A) and
+  // rx_west (west, ISP B) differ per direction — verified in tests.
+  t.add_duplex(h.a1, h.a2, c(9), c(1));  // west-bound on A expensive
+  t.add_duplex(h.a2, h.a3, c(9), c(1));
+  t.add_duplex(h.b1, h.b2, c(2), c(9));  // east-bound on B expensive
+  t.add_duplex(h.b2, h.b3, c(2), c(9));
+  // Peering points: cheap crossings at both coasts.
+  t.add_duplex(h.a1, h.b1, c(1), c(1));
+  t.add_duplex(h.a3, h.b3, c(1), c(1));
+  // Access links.
+  t.add_duplex(h.a1, h.src, c(1), c(1));
+  t.add_duplex(h.b3, h.rx_west, c(1), c(1));
+  t.add_duplex(h.b1, h.rx_east, c(1), c(1));
+  return h;
+}
+
+Fig1Scenario make_fig1() {
+  Fig1Scenario f;
+  Topology& t = f.topo;
+  f.s = t.add_node(NodeKind::kHost);
+  f.h1 = t.add_node();
+  f.h2 = t.add_node();
+  f.h3 = t.add_node();
+  f.h4 = t.add_node();
+  f.h5 = t.add_node();
+  f.h6 = t.add_node();
+  f.h7 = t.add_node();
+  f.r1 = t.add_node(NodeKind::kHost);
+  f.r2 = t.add_node(NodeKind::kHost);
+  f.r3 = t.add_node(NodeKind::kHost);
+  f.r4 = t.add_node(NodeKind::kHost);
+  f.r5 = t.add_node(NodeKind::kHost);
+  f.r6 = t.add_node(NodeKind::kHost);
+  f.r7 = t.add_node(NodeKind::kHost);
+  f.r8 = t.add_node(NodeKind::kHost);
+
+  t.add_duplex(f.s, f.h1, c(1));
+  // Left subtree: H2 is a pure transit router, H4 and H6 branch.
+  t.add_duplex(f.h1, f.h2, c(1));
+  t.add_duplex(f.h2, f.h4, c(1));
+  t.add_duplex(f.h4, f.h6, c(1));
+  t.add_duplex(f.h4, f.r7, c(1));
+  t.add_duplex(f.h6, f.r1, c(1));
+  t.add_duplex(f.h6, f.r2, c(1));
+  t.add_duplex(f.h6, f.r3, c(1));
+  // Right subtree: H3 transit, H5 and H7 branch.
+  t.add_duplex(f.h1, f.h3, c(1));
+  t.add_duplex(f.h3, f.h5, c(1));
+  t.add_duplex(f.h5, f.h7, c(1));
+  t.add_duplex(f.h5, f.r8, c(1));
+  t.add_duplex(f.h7, f.r4, c(1));
+  t.add_duplex(f.h7, f.r5, c(1));
+  t.add_duplex(f.h7, f.r6, c(1));
+  return f;
+}
+
+}  // namespace hbh::topo

@@ -1,0 +1,76 @@
+// The hand-built scenario topologies of the paper's Figures 1–5.
+//
+// Each builder returns a topology whose *directed* costs are engineered so
+// the unicast routes match the routes the paper states for that figure.
+// Tests assert the routes first, then the protocol behaviour on top.
+#pragma once
+
+#include "net/topology.hpp"
+#include "util/ids.hpp"
+
+namespace hbh::topo {
+
+/// Figure 2 / Figure 5 scenario (identical topology; Fig. 5 adds r3).
+///
+/// Unicast routes forced by the costs:
+///   r1 -> H2 -> H1 -> S        (r1's upstream path)
+///   S  -> H1 -> H3 -> r1       (downstream path differs: asymmetry)
+///   r2 -> H3 -> H1 -> S
+///   S  -> H4 -> r2
+///   r3 -> H3 -> H1 -> S  and  S -> H1 -> H3 -> r3  (symmetric)
+struct Fig2Scenario {
+  net::Topology topo;
+  NodeId s;                       ///< source host
+  NodeId h1, h2, h3, h4;          ///< routers (R1..R4 in Fig. 2 numbering)
+  NodeId r1, r2, r3;              ///< receiver hosts
+};
+[[nodiscard]] Fig2Scenario make_fig2();
+
+/// Figure 3 scenario: asymmetric routes that make REUNITE duplicate
+/// packets on the link R1-R6.
+///
+/// Routes forced by the costs:
+///   r1 -> R4 -> R2 -> R1 -> S      S -> R1 -> R6 -> R4 -> r1
+///   r2 -> R5 -> R3 -> R1 -> S      S -> R1 -> R6 -> R5 -> r2
+struct Fig3Scenario {
+  net::Topology topo;
+  NodeId s;
+  NodeId w1, w2, w3, w4, w5, w6;  ///< routers R1..R6
+  NodeId r1, r2;                  ///< receiver hosts
+};
+[[nodiscard]] Fig3Scenario make_fig3();
+
+/// §2.3's "hot-potato routing" scenario: two ISPs (A: a1-a2-a3, B:
+/// b1-b2-b3) spanning a continent with peering points at both ends
+/// (a1-b1 "east", a3-b3 "west"). Each ISP hands cross-network traffic
+/// off at the *nearest* peering point to spare its own long-haul links,
+/// so the A->B and B->A routes between the same endpoints differ — the
+/// economically-induced asymmetry the paper describes.
+struct HotPotatoScenario {
+  net::Topology topo;
+  NodeId a1, a2, a3;  ///< ISP A backbone, east to west
+  NodeId b1, b2, b3;  ///< ISP B backbone, east to west
+  NodeId src;         ///< content source host on A's east coast (a1)
+  NodeId rx_west;     ///< receiver host on B's west coast (b3)
+  NodeId rx_east;     ///< receiver host on B's east coast (b1)
+};
+[[nodiscard]] HotPotatoScenario make_hot_potato();
+
+/// Figure 1 / Figure 4 scenario: the symmetric "twin tree" used to
+/// illustrate recursive-unicast distribution and departure stability.
+/// All costs are 1 (symmetric); S fans out through H1 into two subtrees:
+///   H1 - H2 - H4 {H6{r1,r2,r3}, r7}   and   H1 - H3 - H5 {H7{r4,r5,r6}, r8}
+struct Fig1Scenario {
+  net::Topology topo;
+  NodeId s;
+  NodeId h1, h2, h3, h4, h5, h6, h7;
+  NodeId r1, r2, r3, r4, r5, r6, r7, r8;
+
+  /// All eight receivers in index order.
+  [[nodiscard]] std::vector<NodeId> receivers() const {
+    return {r1, r2, r3, r4, r5, r6, r7, r8};
+  }
+};
+[[nodiscard]] Fig1Scenario make_fig1();
+
+}  // namespace hbh::topo

@@ -1,0 +1,31 @@
+#include "util/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace hbh {
+
+std::optional<std::int64_t> env_int(std::string_view name) {
+  const std::string key{name};
+  const char* raw = std::getenv(key.c_str());
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  std::int64_t value = 0;
+  const char* end = raw;
+  while (*end != '\0') ++end;
+  auto [next, ec] = std::from_chars(raw, end, value);
+  if (ec != std::errc{} || next != end) return std::nullopt;
+  return value;
+}
+
+std::int64_t env_int_or(std::string_view name, std::int64_t fallback) {
+  return env_int(name).value_or(fallback);
+}
+
+std::string env_str_or(std::string_view name, std::string_view fallback) {
+  const std::string key{name};
+  const char* raw = std::getenv(key.c_str());
+  return (raw == nullptr || *raw == '\0') ? std::string{fallback}
+                                          : std::string{raw};
+}
+
+}  // namespace hbh

@@ -1,0 +1,26 @@
+// Environment-variable configuration helpers for the bench binaries.
+//
+// Benches run unattended (`for b in build/bench/*; do $b; done`), so their
+// knobs — trial count, seeds — come from the environment rather than argv:
+// e.g. HBH_TRIALS=500 reruns a figure at the paper's full trial count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hbh {
+
+/// Reads an integer environment variable; nullopt if unset or malformed.
+[[nodiscard]] std::optional<std::int64_t> env_int(std::string_view name);
+
+/// Reads an integer environment variable with a default.
+[[nodiscard]] std::int64_t env_int_or(std::string_view name,
+                                      std::int64_t fallback);
+
+/// Reads a string environment variable with a default.
+[[nodiscard]] std::string env_str_or(std::string_view name,
+                                     std::string_view fallback);
+
+}  // namespace hbh

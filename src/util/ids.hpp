@@ -1,0 +1,79 @@
+// Strong identifier types shared across the simulator.
+//
+// NodeId identifies a vertex of the simulated topology (router or host).
+// LinkId identifies a *directed* edge. Both are thin wrappers around an
+// integer index so they stay trivially copyable and hashable, while the
+// distinct types prevent accidentally mixing a node index with a link index
+// (C++ Core Guidelines I.4: make interfaces precisely and strongly typed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace hbh {
+
+/// Simulated time, in abstract "time units" (the paper's delay unit).
+using Time = double;
+
+/// Identifier of a topology vertex (router or end host).
+struct NodeId {
+  std::uint32_t v = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return v != std::numeric_limits<std::uint32_t>::max();
+  }
+  [[nodiscard]] constexpr std::uint32_t index() const noexcept { return v; }
+
+  friend constexpr bool operator==(NodeId, NodeId) = default;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kNoNode{};
+
+/// Identifier of a directed edge in the topology.
+struct LinkId {
+  std::uint32_t v = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr LinkId() = default;
+  constexpr explicit LinkId(std::uint32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return v != std::numeric_limits<std::uint32_t>::max();
+  }
+  [[nodiscard]] constexpr std::uint32_t index() const noexcept { return v; }
+
+  friend constexpr bool operator==(LinkId, LinkId) = default;
+  friend constexpr auto operator<=>(LinkId, LinkId) = default;
+};
+
+inline constexpr LinkId kNoLink{};
+
+[[nodiscard]] inline std::string to_string(NodeId n) {
+  return n.valid() ? "n" + std::to_string(n.v) : "n<invalid>";
+}
+[[nodiscard]] inline std::string to_string(LinkId l) {
+  return l.valid() ? "l" + std::to_string(l.v) : "l<invalid>";
+}
+
+}  // namespace hbh
+
+template <>
+struct std::hash<hbh::NodeId> {
+  std::size_t operator()(hbh::NodeId n) const noexcept {
+    return std::hash<std::uint32_t>{}(n.v);
+  }
+};
+
+template <>
+struct std::hash<hbh::LinkId> {
+  std::size_t operator()(hbh::LinkId l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.v);
+  }
+};

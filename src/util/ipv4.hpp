@@ -1,0 +1,101 @@
+// Minimal IPv4 address model.
+//
+// HBH identifies a channel by <S, G> where S is a unicast IPv4 address and G
+// a class-D (multicast) group address. The simulator assigns every node a
+// unicast address and allocates SSM-range (232/8) group addresses, so the
+// protocol code manipulates real addresses rather than bare node indexes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hbh {
+
+/// An IPv4 address in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  /// True for 0.0.0.0, used as the "unspecified" sentinel.
+  [[nodiscard]] constexpr bool unspecified() const noexcept {
+    return bits_ == 0;
+  }
+
+  /// True if this is a class-D (224.0.0.0/4) multicast address.
+  [[nodiscard]] constexpr bool is_multicast() const noexcept {
+    return (bits_ & 0xF0000000u) == 0xE0000000u;
+  }
+
+  /// True if this lies in the SSM range 232.0.0.0/8 used for channels.
+  [[nodiscard]] constexpr bool is_ssm() const noexcept {
+    return (bits_ & 0xFF000000u) == 0xE8000000u;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  friend constexpr bool operator==(Ipv4Addr, Ipv4Addr) = default;
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Sentinel "no address".
+inline constexpr Ipv4Addr kNoAddr{};
+
+/// A class-D group address (type-distinct from unicast addresses).
+class GroupAddr {
+ public:
+  constexpr GroupAddr() = default;
+  constexpr explicit GroupAddr(Ipv4Addr a) : addr_(a) {}
+
+  [[nodiscard]] constexpr Ipv4Addr addr() const noexcept { return addr_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return addr_.is_multicast();
+  }
+  [[nodiscard]] std::string to_string() const { return addr_.to_string(); }
+
+  /// Allocates the i-th SSM-range group address (232.0.x.y).
+  [[nodiscard]] static constexpr GroupAddr ssm(std::uint16_t i) noexcept {
+    return GroupAddr{Ipv4Addr{0xE8000000u | i}};
+  }
+
+  friend constexpr bool operator==(GroupAddr, GroupAddr) = default;
+  friend constexpr auto operator<=>(GroupAddr, GroupAddr) = default;
+
+ private:
+  Ipv4Addr addr_{};
+};
+
+}  // namespace hbh
+
+template <>
+struct std::hash<hbh::Ipv4Addr> {
+  std::size_t operator()(hbh::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<hbh::GroupAddr> {
+  std::size_t operator()(hbh::GroupAddr g) const noexcept {
+    return std::hash<hbh::Ipv4Addr>{}(g.addr());
+  }
+};

@@ -1,0 +1,69 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace hbh {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() { set_sink(nullptr); }
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::cerr << '[' << to_string(level) << "] " << message << '\n';
+    };
+  }
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  sink_(level, message);
+}
+
+LogCapture::LogCapture(LogLevel level)
+    : previous_level_(Logger::instance().level()) {
+  Logger::instance().set_level(level);
+  Logger::instance().set_sink([this](LogLevel, std::string_view message) {
+    lines_.emplace_back(message);
+  });
+}
+
+LogCapture::~LogCapture() {
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(previous_level_);
+}
+
+bool LogCapture::contains(std::string_view needle) const {
+  return count(needle) > 0;
+}
+
+std::size_t LogCapture::count(std::string_view needle) const {
+  std::size_t hits = 0;
+  for (const auto& line : lines_) {
+    if (line.find(needle) != std::string::npos) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace hbh

@@ -1,0 +1,89 @@
+// Lightweight leveled logging and an in-memory trace recorder.
+//
+// The protocol implementations emit structured trace lines ("H3 fusion(S,
+// r1,r3) -> H1") that unit tests assert on and examples print. Logging is a
+// process-wide singleton with a swappable sink so tests can capture output
+// without touching stderr.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbh {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logger. Not thread-safe by design: the simulator is single
+/// threaded and the harness runs one simulation per thread-local logger-free
+/// path (benches never log below kWarn).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Replaces the sink; pass nullptr to restore the default stderr sink.
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& out, const T& first, const Rest&... rest) {
+  out << first;
+  append_all(out, rest...);
+}
+}  // namespace detail
+
+/// Logs `parts...` stream-concatenated at `level` if enabled.
+template <typename... Parts>
+void log(LogLevel level, const Parts&... parts) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream out;
+  detail::append_all(out, parts...);
+  logger.write(level, out.str());
+}
+
+/// RAII capture of all log lines at or above `level`; restores the previous
+/// sink and level on destruction. Used by tests asserting on traces.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level = LogLevel::kTrace);
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  [[nodiscard]] const std::vector<std::string>& lines() const noexcept {
+    return lines_;
+  }
+  /// True if any captured line contains `needle`.
+  [[nodiscard]] bool contains(std::string_view needle) const;
+  /// Number of captured lines containing `needle`.
+  [[nodiscard]] std::size_t count(std::string_view needle) const;
+
+ private:
+  std::vector<std::string> lines_;
+  LogLevel previous_level_;
+};
+
+}  // namespace hbh

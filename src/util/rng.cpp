@@ -1,0 +1,28 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+
+namespace hbh {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next());
+  }
+  // Lemire's unbiased bounded generation (rejection on the low word).
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * span;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+}  // namespace hbh

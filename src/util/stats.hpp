@@ -1,0 +1,54 @@
+// Streaming statistics used by the experiment harness.
+//
+// Each figure in the paper plots the mean over 500 randomized trials; we
+// additionally keep the standard deviation and a normal-approximation 95%
+// confidence interval so EXPERIMENTS.md can report uncertainty.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hbh {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-combine, Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+  /// "mean ± ci95" rendered with the given precision.
+  [[nodiscard]] std::string to_string(int precision = 2) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (nearest-rank) over a sample vector; the vector is
+/// copied so the caller's ordering is preserved.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace hbh

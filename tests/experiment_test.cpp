@@ -1,0 +1,196 @@
+// Tests for the experiment harness: trial pairing, sweep aggregation,
+// table/CSV formatting, and the session plumbing they rely on.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "topo/isp.hpp"
+
+namespace hbh::harness {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.topology = TopoKind::kIsp;
+  spec.group_sizes = {3};
+  spec.trials = 3;
+  return spec;
+}
+
+TEST(ExperimentTest, ProtocolNames) {
+  EXPECT_EQ(to_string(Protocol::kHbh), "HBH");
+  EXPECT_EQ(to_string(Protocol::kReunite), "REUNITE");
+  EXPECT_EQ(to_string(Protocol::kPimSm), "PIM-SM");
+  EXPECT_EQ(to_string(Protocol::kPimSs), "PIM-SS");
+  EXPECT_EQ(all_protocols().size(), 4u);
+}
+
+TEST(ExperimentTest, GroupSizeAxesMatchFigures) {
+  EXPECT_EQ(isp_group_sizes().front(), 2u);
+  EXPECT_EQ(isp_group_sizes().back(), 16u);
+  EXPECT_EQ(random50_group_sizes().front(), 5u);
+  EXPECT_EQ(random50_group_sizes().back(), 45u);
+}
+
+TEST(ExperimentTest, TrialIsSeedDeterministic) {
+  const ExperimentSpec spec = tiny_spec();
+  const TrialResult a = run_trial(spec, Protocol::kHbh, 3, 0);
+  const TrialResult b = run_trial(spec, Protocol::kHbh, 3, 0);
+  EXPECT_DOUBLE_EQ(a.tree_cost, b.tree_cost);
+  EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+}
+
+TEST(ExperimentTest, DifferentTrialsDiffer) {
+  const ExperimentSpec spec = tiny_spec();
+  const TrialResult a = run_trial(spec, Protocol::kHbh, 3, 0);
+  const TrialResult b = run_trial(spec, Protocol::kHbh, 3, 1);
+  // Different cost draws and receiver sets: at least one metric differs
+  // (they could coincide by chance; both matching exactly is unlikely).
+  EXPECT_TRUE(a.tree_cost != b.tree_cost || a.mean_delay != b.mean_delay);
+}
+
+TEST(ExperimentTest, HbhDeliversInAllTinyTrials) {
+  const ExperimentSpec spec = tiny_spec();
+  for (std::size_t t = 0; t < spec.trials; ++t) {
+    const TrialResult r = run_trial(spec, Protocol::kHbh, 3, t);
+    EXPECT_TRUE(r.delivered) << "trial " << t;
+    EXPECT_GT(r.tree_cost, 0);
+    EXPECT_GT(r.mean_delay, 0);
+  }
+}
+
+TEST(ExperimentTest, SweepAggregatesTrials) {
+  const ExperimentSpec spec = tiny_spec();
+  const SweepResult sweep = run_sweep(spec, Protocol::kPimSs);
+  ASSERT_EQ(sweep.cells.size(), 1u);
+  EXPECT_EQ(sweep.cells[0].group_size, 3u);
+  EXPECT_EQ(sweep.cells[0].tree_cost.count(), 3u);
+  EXPECT_EQ(sweep.cells[0].mean_delay.count(), 3u);
+  EXPECT_EQ(sweep.cells[0].delivery_failures, 0u);
+}
+
+TEST(ExperimentTest, TableFormatContainsAllProtocolsAndSizes) {
+  ExperimentSpec spec = tiny_spec();
+  spec.trials = 1;
+  const auto results = run_all(spec);
+  const std::string table = format_table(results, "cost");
+  EXPECT_NE(table.find("HBH"), std::string::npos);
+  EXPECT_NE(table.find("REUNITE"), std::string::npos);
+  EXPECT_NE(table.find("PIM-SM"), std::string::npos);
+  EXPECT_NE(table.find("PIM-SS"), std::string::npos);
+  EXPECT_NE(table.find("receivers"), std::string::npos);
+  EXPECT_NE(table.find('3'), std::string::npos);
+}
+
+TEST(ExperimentTest, CsvFormatIsParseable) {
+  ExperimentSpec spec = tiny_spec();
+  spec.trials = 1;
+  const auto results = run_all(spec);
+  const std::string csv = format_csv(results);
+  EXPECT_NE(csv.find("group_size,protocol,metric,mean,ci95,trials"),
+            std::string::npos);
+  // 4 protocols x 1 size x 2 metrics = 8 data lines + header.
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 9u);
+}
+
+TEST(ExperimentTest, SymmetricAblationChangesCosts) {
+  // With symmetrized costs the asymmetric pathologies vanish; HBH and
+  // PIM-SS tree costs coincide trial by trial.
+  ExperimentSpec spec = tiny_spec();
+  spec.symmetric_costs = true;
+  for (std::size_t t = 0; t < 3; ++t) {
+    const TrialResult hbh = run_trial(spec, Protocol::kHbh, 3, t);
+    const TrialResult ss = run_trial(spec, Protocol::kPimSs, 3, t);
+    ASSERT_TRUE(hbh.delivered);
+    ASSERT_TRUE(ss.delivered);
+    EXPECT_DOUBLE_EQ(hbh.tree_cost, ss.tree_cost) << "trial " << t;
+    EXPECT_DOUBLE_EQ(hbh.mean_delay, ss.mean_delay) << "trial " << t;
+  }
+}
+
+TEST(SessionTest, MembersTracksSubscriptions) {
+  auto scenario = topo::make_isp();
+  Session session{scenario, Protocol::kHbh};
+  EXPECT_TRUE(session.members().empty());
+  session.subscribe(scenario.hosts[3]);
+  session.subscribe(scenario.hosts[5]);
+  session.run_for(1);
+  EXPECT_EQ(session.members().size(), 2u);
+  session.unsubscribe(scenario.hosts[3]);
+  session.run_for(1);
+  EXPECT_EQ(session.members().size(), 1u);
+}
+
+TEST(SessionTest, DelayedSubscribeTakesEffectLater) {
+  auto scenario = topo::make_isp();
+  Session session{scenario, Protocol::kHbh};
+  session.subscribe(scenario.hosts[3], 50);
+  session.run_for(10);
+  EXPECT_TRUE(session.members().empty());
+  session.run_for(50);
+  EXPECT_EQ(session.members().size(), 1u);
+}
+
+TEST(SessionTest, RpOnlySetForPimSm) {
+  auto scenario = topo::make_isp();
+  Session sm{scenario, Protocol::kPimSm};
+  Session ss{scenario, Protocol::kPimSs};
+  Session hbh{scenario, Protocol::kHbh};
+  EXPECT_TRUE(sm.rp().valid());
+  EXPECT_FALSE(ss.rp().valid());
+  EXPECT_FALSE(hbh.rp().valid());
+}
+
+TEST(SessionTest, ChannelUsesSourceAddressAndSsmGroup) {
+  auto scenario = topo::make_isp();
+  Session session{scenario, Protocol::kHbh};
+  EXPECT_EQ(session.channel().source,
+            session.network().address_of(scenario.source_host));
+  EXPECT_TRUE(session.channel().group.addr().is_ssm());
+}
+
+TEST(SessionTest, RunToQuiescenceConvergesAndDelivers) {
+  auto scenario = topo::make_isp();
+  Rng rng{31337};
+  topo::randomize_costs(scenario.topo, rng);
+  const auto receivers = rng.sample(scenario.candidate_receivers(), 6);
+  Session session{std::move(scenario), Protocol::kHbh};
+  Time delay = 0.1;
+  for (const NodeId r : receivers) {
+    session.subscribe(r, delay);
+    delay += 1.0;
+  }
+  const Time convergence = run_to_quiescence(session);
+  EXPECT_LT(convergence, 3000.0);  // settled before the horizon
+  EXPECT_TRUE(session.measure().delivered_exactly_once());
+}
+
+TEST(SessionTest, PimExplicitPruneLeavesFast) {
+  auto scenario = topo::make_isp();
+  Session session{scenario, Protocol::kPimSs};
+  session.subscribe(scenario.hosts[4]);
+  session.subscribe(scenario.hosts[9]);
+  session.run_for(60);
+  ASSERT_TRUE(session.measure().delivered_exactly_once());
+  session.unsubscribe(scenario.hosts[4]);
+  session.run_for(30);  // far below t2=70: the prune did the teardown
+  const Measurement m = session.measure();
+  EXPECT_TRUE(m.delivered_exactly_once());  // only hosts[9] is a member
+  EXPECT_EQ(session.members().size(), 1u);
+}
+
+TEST(SessionTest, MeasureOnEmptyGroupIsClean) {
+  auto scenario = topo::make_isp();
+  Session session{scenario, Protocol::kPimSm};
+  session.run_for(20);
+  const Measurement m = session.measure(50);
+  EXPECT_TRUE(m.missing.empty());
+  EXPECT_TRUE(m.duplicated.empty());
+  EXPECT_DOUBLE_EQ(m.mean_delay, 0.0);
+}
+
+}  // namespace
+}  // namespace hbh::harness

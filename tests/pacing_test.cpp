@@ -1,0 +1,141 @@
+// Tests for the control-plane pacing guards and the fusion state rules
+// (Appendix A, F2-F4) applied directly to tables.
+#include <gtest/gtest.h>
+
+#include "mcast/common/pacing.hpp"
+#include "mcast/hbh/router.hpp"
+
+namespace hbh::mcast {
+namespace {
+
+TEST(TreePacerTest, FirstEmissionAllowed) {
+  TreePacer pacer;
+  EXPECT_TRUE(pacer.allow(Ipv4Addr{10, 0, 0, 1}, 0.0, 5.0));
+}
+
+TEST(TreePacerTest, BlocksWithinMinGap) {
+  TreePacer pacer;
+  const Ipv4Addr t{10, 0, 0, 1};
+  EXPECT_TRUE(pacer.allow(t, 0.0, 5.0));
+  EXPECT_FALSE(pacer.allow(t, 2.0, 5.0));
+  EXPECT_FALSE(pacer.allow(t, 4.9, 5.0));
+  EXPECT_TRUE(pacer.allow(t, 5.0, 5.0));
+}
+
+TEST(TreePacerTest, TargetsAreIndependent) {
+  TreePacer pacer;
+  EXPECT_TRUE(pacer.allow(Ipv4Addr{10, 0, 0, 1}, 0.0, 5.0));
+  EXPECT_TRUE(pacer.allow(Ipv4Addr{10, 0, 0, 2}, 0.0, 5.0));
+}
+
+TEST(TreePacerTest, AllowRecordsNewTimestamp) {
+  TreePacer pacer;
+  const Ipv4Addr t{10, 0, 0, 1};
+  EXPECT_TRUE(pacer.allow(t, 0.0, 5.0));
+  EXPECT_TRUE(pacer.allow(t, 6.0, 5.0));
+  EXPECT_FALSE(pacer.allow(t, 10.0, 5.0));  // last emission was at 6.0
+}
+
+TEST(TreePacerTest, ExpireDropsOldMemory) {
+  TreePacer pacer;
+  EXPECT_TRUE(pacer.allow(Ipv4Addr{10, 0, 0, 1}, 0.0, 5.0));
+  EXPECT_TRUE(pacer.allow(Ipv4Addr{10, 0, 0, 2}, 90.0, 5.0));
+  EXPECT_EQ(pacer.size(), 2u);
+  pacer.expire(100.0, 50.0);
+  EXPECT_EQ(pacer.size(), 1u);  // the t=0 entry aged out
+}
+
+TEST(ReplicationGuardTest, FirstTimeThenDuplicate) {
+  ReplicationGuard guard;
+  EXPECT_TRUE(guard.first_time(1, 0));
+  EXPECT_FALSE(guard.first_time(1, 0));
+  EXPECT_TRUE(guard.first_time(1, 1));
+  EXPECT_TRUE(guard.first_time(2, 0));
+  EXPECT_FALSE(guard.first_time(2, 0));
+}
+
+TEST(ReplicationGuardTest, RingEvictsOldestEventually) {
+  ReplicationGuard guard;
+  EXPECT_TRUE(guard.first_time(0, 0));
+  for (std::uint32_t i = 1; i <= 64; ++i) {
+    EXPECT_TRUE(guard.first_time(0, i));
+  }
+  // (0,0) fell out of the 64-entry ring: treated as new again. This is the
+  // documented bound — only *recent* loop-backs are suppressed.
+  EXPECT_TRUE(guard.first_time(0, 0));
+}
+
+TEST(ApplyFusionTest, MarksListedEntries) {
+  const McastConfig cfg{};
+  hbh::Mft mft;
+  const Ipv4Addr r1{10, 0, 0, 1};
+  const Ipv4Addr r2{10, 0, 0, 2};
+  const Ipv4Addr bp{10, 0, 9, 1};
+  mft.upsert(r1, cfg, 0.0);
+  mft.upsert(r2, cfg, 0.0);
+
+  net::FusionPayload fusion;
+  fusion.receivers = {r1};
+  fusion.origin = bp;
+  hbh::apply_fusion(mft, fusion, cfg, 0.0);
+
+  EXPECT_TRUE(mft.find(r1)->marked());
+  EXPECT_FALSE(mft.find(r2)->marked());
+}
+
+TEST(ApplyFusionTest, UnknownListedReceiversIgnored) {
+  const McastConfig cfg{};
+  hbh::Mft mft;
+  net::FusionPayload fusion;
+  fusion.receivers = {Ipv4Addr{10, 0, 0, 9}};
+  fusion.origin = Ipv4Addr{10, 0, 9, 1};
+  hbh::apply_fusion(mft, fusion, cfg, 0.0);
+  EXPECT_EQ(mft.size(), 1u);  // only the origin entry was created
+  EXPECT_FALSE(mft.contains(Ipv4Addr{10, 0, 0, 9}));
+}
+
+TEST(ApplyFusionTest, OriginBornStale) {
+  const McastConfig cfg{};
+  hbh::Mft mft;
+  const Ipv4Addr bp{10, 0, 9, 1};
+  net::FusionPayload fusion;
+  fusion.origin = bp;
+  hbh::apply_fusion(mft, fusion, cfg, 0.0);
+
+  const SoftEntry* entry = mft.find(bp);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->stale(0.0));     // F3: no tree messages toward Bp
+  EXPECT_FALSE(entry->dead(50.0));    // but alive for data until t2
+  EXPECT_FALSE(entry->marked());      // and data-eligible
+}
+
+TEST(ApplyFusionTest, RepeatedFusionKeepsOriginAliveButStale) {
+  const McastConfig cfg{};
+  hbh::Mft mft;
+  const Ipv4Addr bp{10, 0, 9, 1};
+  net::FusionPayload fusion;
+  fusion.origin = bp;
+  hbh::apply_fusion(mft, fusion, cfg, 0.0);
+  hbh::apply_fusion(mft, fusion, cfg, 60.0);  // F4: refresh t2 only
+  const SoftEntry* entry = mft.find(bp);
+  EXPECT_TRUE(entry->stale(60.0));
+  EXPECT_FALSE(entry->dead(120.0));   // t2 now runs from 60
+  EXPECT_TRUE(entry->dead(130.1));
+}
+
+TEST(ApplyFusionTest, JoinFreshenedOriginStaysFreshThroughFusion) {
+  // F4 must not re-expire t1: once Bp's own joins freshened the entry,
+  // tree messages flow to Bp and later fusions only keep t2 alive.
+  const McastConfig cfg{};
+  hbh::Mft mft;
+  const Ipv4Addr bp{10, 0, 9, 1};
+  net::FusionPayload fusion;
+  fusion.origin = bp;
+  hbh::apply_fusion(mft, fusion, cfg, 0.0);
+  mft.find(bp)->refresh(cfg, 10.0);  // join(S, Bp) arrives
+  hbh::apply_fusion(mft, fusion, cfg, 12.0);
+  EXPECT_FALSE(mft.find(bp)->stale(20.0));
+}
+
+}  // namespace
+}  // namespace hbh::mcast

@@ -1,0 +1,277 @@
+// REUNITE baseline tests: the Figure 2 non-SPT pathology and recovery
+// after departure, the Figure 3 duplicate-copies pathology, and general
+// delivery correctness — the behaviors HBH was designed to fix.
+#include <gtest/gtest.h>
+
+#include "harness/session.hpp"
+#include "mcast/reunite/router.hpp"
+#include "mcast/reunite/source.hpp"
+#include "routing/unicast.hpp"
+#include "topo/builders.hpp"
+#include "topo/scenarios.hpp"
+
+namespace hbh::harness {
+namespace {
+
+using mcast::reunite::ReuniteRouter;
+
+topo::Scenario from_fig2(const topo::Fig2Scenario& f) {
+  topo::Scenario s;
+  s.topo = f.topo;
+  s.routers = {f.h1, f.h2, f.h3, f.h4};
+  s.hosts = {f.s, f.r1, f.r2, f.r3};
+  s.source_host = f.s;
+  return s;
+}
+
+topo::Scenario from_fig3(const topo::Fig3Scenario& f) {
+  topo::Scenario s;
+  s.topo = f.topo;
+  s.routers = {f.w1, f.w2, f.w3, f.w4, f.w5, f.w6};
+  s.hosts = {f.s, f.r1, f.r2};
+  s.source_host = f.s;
+  return s;
+}
+
+topo::Scenario from_fig1(const topo::Fig1Scenario& f) {
+  topo::Scenario s;
+  s.topo = f.topo;
+  s.routers = {f.h1, f.h2, f.h3, f.h4, f.h5, f.h6, f.h7};
+  s.hosts = {f.s, f.r1, f.r2, f.r3, f.r4, f.r5, f.r6, f.r7, f.r8};
+  s.source_host = f.s;
+  return s;
+}
+
+const mcast::reunite::ChannelState* reunite_state(Session& session,
+                                                  NodeId router) {
+  return static_cast<const ReuniteRouter&>(session.network().agent(router))
+      .state(session.channel());
+}
+
+Time last_delay(Session& session, NodeId host) {
+  const auto& ds = session.receiver(host).deliveries();
+  EXPECT_FALSE(ds.empty());
+  if (ds.empty()) return -1;
+  return ds.back().received_at - ds.back().sent_at;
+}
+
+TEST(ReuniteBasicTest, SingleReceiverDelivery) {
+  auto scenario =
+      topo::attach_hosts(topo::make_line(3), {NodeId{0}, NodeId{1}, NodeId{2}}, 0);
+  Session session{scenario, Protocol::kReunite};
+  session.subscribe(scenario.hosts[2]);
+  session.run_for(60);
+  const Measurement m = session.measure();
+  EXPECT_TRUE(m.delivered_exactly_once());
+  EXPECT_EQ(m.tree_cost, 4u);
+  EXPECT_DOUBLE_EQ(m.mean_delay, 4.0);
+}
+
+TEST(ReuniteBasicTest, EightReceiversStaggeredBuildFig1bTree) {
+  // REUNITE anchors a receiver where its join first meets the tree, and a
+  // connected receiver never re-anchors — so the tree shape depends on
+  // join timing. Staggering joins by more than a tree period lets each
+  // new join meet the previous receivers' state, reproducing the paper's
+  // Figure 1(b) tree exactly: dst chains r1 (left) and r4 (right), with
+  // the remaining receivers as branching-node entries.
+  const auto fig = topo::make_fig1();
+  Session session{from_fig1(fig), Protocol::kReunite};
+  Time delay = 0.1;
+  for (const NodeId r : fig.receivers()) {
+    session.subscribe(r, delay);
+    delay += 20.0;  // > tree period: state exists before the next join
+  }
+  session.run_for(600);
+  const Measurement m = session.measure();
+  EXPECT_TRUE(m.delivered_exactly_once());
+  // The Fig. 1(b) tree covers the same 15 links as HBH's, one copy each.
+  EXPECT_EQ(m.tree_cost, 15u);
+  EXPECT_EQ(m.max_link_copies, 1u);
+  // Structure spot-checks: H1 branches the r1 flow toward r4's subtree.
+  const auto* h1 = reunite_state(session, fig.h1);
+  ASSERT_NE(h1, nullptr);
+  ASSERT_TRUE(h1->branching());
+  EXPECT_EQ(h1->mft->dst, session.network().address_of(fig.r1));
+}
+
+TEST(ReuniteBasicTest, SimultaneousJoinsAnchorAtSourceWithoutDuplicates) {
+  // The flip side: receivers joining before any tree state exists anchor
+  // at the source, which then serves them over recursive unicast star
+  // paths — more copies on shared links (the paper's "badly placed
+  // branching nodes"), but still exactly-once delivery.
+  const auto fig = topo::make_fig1();
+  Session session{from_fig1(fig), Protocol::kReunite};
+  for (const NodeId r : fig.receivers()) session.subscribe(r);
+  session.run_for(400);
+  const Measurement m = session.measure();
+  EXPECT_TRUE(m.delivered_exactly_once());
+  EXPECT_GE(m.tree_cost, 15u);       // at least the tree links
+  EXPECT_GE(m.max_link_copies, 1u);  // shared links may carry copies
+}
+
+TEST(ReuniteFig2Test, BranchingAtR3AndSuboptimalRouteForR2) {
+  const auto fig = topo::make_fig2();
+  auto scenario = from_fig2(fig);
+  routing::UnicastRouting reference{scenario.topo};
+  Session session{scenario, Protocol::kReunite};
+  session.subscribe(fig.r1);          // r1 joins at S; dst = r1
+  session.run_for(50);
+  session.subscribe(fig.r2);          // join(S,r2) intercepted at R3 (= H3)
+  session.run_for(150);
+
+  // R3 became the branching node with dst = r1 and entry r2 (Fig. 2a).
+  const auto* h3 = reunite_state(session, fig.h3);
+  ASSERT_NE(h3, nullptr);
+  ASSERT_TRUE(h3->branching());
+  EXPECT_EQ(h3->mft->dst, session.network().address_of(fig.r1));
+  EXPECT_TRUE(h3->mft->entries.contains(session.network().address_of(fig.r2)));
+
+  const Measurement m = session.measure();
+  ASSERT_TRUE(m.delivered_exactly_once());
+  // r1 is on its shortest path...
+  EXPECT_DOUBLE_EQ(last_delay(session, fig.r1),
+                   reference.path_delay(fig.s, fig.r1));
+  // ...but r2 is NOT: data detours S -> R1 -> R3 -> r2 instead of the
+  // shortest S -> R4 -> r2 (the Fig. 2a pathology).
+  EXPECT_GT(last_delay(session, fig.r2), reference.path_delay(fig.s, fig.r2));
+  EXPECT_DOUBLE_EQ(last_delay(session, fig.r2),
+                   reference.path_delay(fig.s, fig.h3) +
+                       reference.path_delay(fig.h3, fig.r2));
+}
+
+TEST(ReuniteFig2Test, R1DepartureRestoresShortestPathForR2) {
+  const auto fig = topo::make_fig2();
+  auto scenario = from_fig2(fig);
+  routing::UnicastRouting reference{scenario.topo};
+  Session session{scenario, Protocol::kReunite};
+  session.subscribe(fig.r1);
+  session.run_for(50);
+  session.subscribe(fig.r2);
+  session.run_for(150);
+  ASSERT_TRUE(session.measure().delivered_exactly_once());
+
+  // r1 leaves: the stale/marked-tree reconfiguration (Fig. 2b-d) must
+  // re-anchor r2 at S and data then follows S -> R4 -> r2.
+  session.unsubscribe(fig.r1);
+  session.run_for(400);  // ride out t1 staleness, marked trees, t2 death
+
+  const Measurement m = session.measure();
+  ASSERT_TRUE(m.delivered_exactly_once());
+  EXPECT_DOUBLE_EQ(last_delay(session, fig.r2),
+                   reference.path_delay(fig.s, fig.r2));
+  // R3's MFT is gone (Fig. 2d).
+  const auto* h3 = reunite_state(session, fig.h3);
+  EXPECT_TRUE(h3 == nullptr || !h3->branching());
+}
+
+TEST(ReuniteFig2Test, DepartureCausesRouteChangeForRemainingReceiver) {
+  // The route-change-on-departure behavior the paper criticizes: r2's
+  // delay changes (improves) when r1 leaves — HBH avoids this.
+  const auto fig = topo::make_fig2();
+  Session session{from_fig2(fig), Protocol::kReunite};
+  session.subscribe(fig.r1);
+  session.run_for(50);
+  session.subscribe(fig.r2);
+  session.run_for(150);
+  session.measure();
+  const Time before = last_delay(session, fig.r2);
+  session.unsubscribe(fig.r1);
+  session.run_for(400);
+  session.measure();
+  const Time after = last_delay(session, fig.r2);
+  EXPECT_NE(before, after);
+  EXPECT_LT(after, before);
+}
+
+TEST(ReuniteFig3Test, AsymmetryDuplicatesPacketsOnSharedLink) {
+  const auto fig = topo::make_fig3();
+  Session session{from_fig3(fig), Protocol::kReunite};
+  session.subscribe(fig.r1);
+  session.run_for(50);
+  session.subscribe(fig.r2);
+  session.run_for(200);
+
+  const Measurement m = session.measure();
+  ASSERT_TRUE(m.delivered_exactly_once());
+  // R6 never sees a join, so it is not a branching node; S emits data to
+  // r1 and R1 duplicates for r2 — both copies cross link R1->R6 (Fig. 3).
+  EXPECT_EQ(m.max_link_copies, 2u);
+  const auto it = m.duplicated;  // no receiver-level duplicates though
+  EXPECT_TRUE(it.empty());
+  // R1 (= w1) is the branching node.
+  const auto* w1 = reunite_state(session, fig.w1);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_TRUE(w1->branching());
+  // R6 (= w6) must NOT be branching.
+  const auto* w6 = reunite_state(session, fig.w6);
+  EXPECT_TRUE(w6 == nullptr || !w6->branching());
+}
+
+TEST(ReuniteFig3Test, HbhResolvesTheSameScenarioWithoutDuplicates) {
+  // Control experiment: HBH on the identical topology keeps one copy per
+  // link because H6's fusion relocates the branching point (§3.1 end).
+  const auto fig = topo::make_fig3();
+  Session session{from_fig3(fig), Protocol::kHbh};
+  session.subscribe(fig.r1);
+  session.run_for(50);
+  session.subscribe(fig.r2);
+  session.run_for(300);
+  const Measurement m = session.measure();
+  ASSERT_TRUE(m.delivered_exactly_once());
+  EXPECT_EQ(m.max_link_copies, 1u);
+}
+
+TEST(ReuniteDynamicsTest, LeaveRejoinRecovers) {
+  const auto fig = topo::make_fig1();
+  Session session{from_fig1(fig), Protocol::kReunite};
+  session.subscribe(fig.r1);
+  session.subscribe(fig.r4);
+  session.run_for(200);
+  session.unsubscribe(fig.r4);
+  session.run_for(400);
+  session.subscribe(fig.r4);
+  session.run_for(200);
+  const Measurement m = session.measure();
+  EXPECT_TRUE(m.delivered_exactly_once());
+}
+
+TEST(ReuniteDynamicsTest, AllLeaveDissolvesTree) {
+  const auto fig = topo::make_fig1();
+  Session session{from_fig1(fig), Protocol::kReunite};
+  for (const NodeId r : fig.receivers()) session.subscribe(r);
+  session.run_for(200);
+  for (const NodeId r : fig.receivers()) session.unsubscribe(r);
+  session.run_for(400);
+  const Measurement m = session.measure();
+  EXPECT_EQ(m.tree_cost, 0u);
+  const auto& source = static_cast<const mcast::reunite::ReuniteSource&>(
+      session.network().agent(fig.s));
+  EXPECT_FALSE(source.has_members());
+}
+
+TEST(ReuniteStabilityTest, DepartureTouchesMoreStateThanHbh) {
+  // Figure 4: member departure reconfigures more of the REUNITE tree than
+  // the HBH tree. Compare structural change counts after r1 leaves.
+  const auto fig = topo::make_fig2();
+  std::uint64_t changes[2] = {0, 0};
+  const Protocol protocols[2] = {Protocol::kReunite, Protocol::kHbh};
+  for (int i = 0; i < 2; ++i) {
+    Session session{from_fig2(fig), protocols[i]};
+    session.subscribe(fig.r1);
+    session.run_for(50);
+    session.subscribe(fig.r2);
+    session.run_for(300);
+    const std::uint64_t baseline = session.total_structural_changes();
+    session.unsubscribe(fig.r1);
+    session.run_for(400);
+    changes[i] = session.total_structural_changes() - baseline;
+    EXPECT_TRUE(session.measure().delivered_exactly_once())
+        << to_string(protocols[i]);
+  }
+  // REUNITE rebuilds r2's branch (route change); HBH only expires r1
+  // state. Departure must cost REUNITE at least as many table changes.
+  EXPECT_GE(changes[0], changes[1]);
+}
+
+}  // namespace
+}  // namespace hbh::harness

@@ -1,0 +1,172 @@
+// Property tests for the routing layer over randomized topologies:
+// invariants that must hold for any graph the generators produce, since
+// every protocol's correctness sits on top of them.
+#include <gtest/gtest.h>
+
+#include "routing/unicast.hpp"
+#include "topo/builders.hpp"
+#include "topo/isp.hpp"
+#include "topo/random.hpp"
+#include "util/rng.hpp"
+
+namespace hbh::routing {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  enum Kind { kIsp, kRandom, kWaxman, kGrid } kind;
+};
+
+class RoutingProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  net::Topology build() {
+    Rng rng{GetParam().seed};
+    net::Topology t;
+    switch (GetParam().kind) {
+      case Case::kIsp:
+        t = topo::make_isp().topo;
+        break;
+      case Case::kRandom:
+        t = topo::make_random(topo::RandomTopoParams{30, 4.0}, rng).topo;
+        break;
+      case Case::kWaxman:
+        t = topo::make_waxman(topo::WaxmanParams{30, 0.3, 0.4}, rng).topo;
+        break;
+      case Case::kGrid:
+        t = topo::make_grid(5, 5);
+        break;
+    }
+    topo::randomize_costs(t, rng);
+    return t;
+  }
+};
+
+TEST_P(RoutingProperties, EveryPairReachableOnConnectedGraph) {
+  const net::Topology t = build();
+  ASSERT_TRUE(t.strongly_connected());
+  const UnicastRouting routes{t};
+  for (std::uint32_t a = 0; a < t.node_count(); ++a) {
+    for (std::uint32_t b = 0; b < t.node_count(); ++b) {
+      if (a == b) continue;
+      ASSERT_TRUE(routes.reachable(NodeId{a}, NodeId{b}))
+          << "n" << a << " -> n" << b;
+    }
+  }
+}
+
+TEST_P(RoutingProperties, TriangleInequalityOnDistances) {
+  const net::Topology t = build();
+  const UnicastRouting routes{t};
+  Rng rng{GetParam().seed ^ 0x7A7A};
+  const auto n = static_cast<std::int64_t>(t.node_count());
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId b{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId c{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    if (a == b || b == c || a == c) continue;
+    EXPECT_LE(routes.distance(a, c),
+              routes.distance(a, b) + routes.distance(b, c) + 1e-9);
+  }
+}
+
+TEST_P(RoutingProperties, NextHopChainsTerminateAtDestination) {
+  const net::Topology t = build();
+  const UnicastRouting routes{t};
+  Rng rng{GetParam().seed ^ 0x1234};
+  const auto n = static_cast<std::int64_t>(t.node_count());
+  for (int i = 0; i < 100; ++i) {
+    const NodeId from{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId to{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    if (from == to) continue;
+    NodeId at = from;
+    std::size_t hops = 0;
+    while (at != to) {
+      at = routes.next_hop(at, to);
+      ASSERT_TRUE(at.valid());
+      ASSERT_LE(++hops, t.node_count());  // loop-free: < n hops always
+    }
+    EXPECT_EQ(hops + 1, routes.path(from, to).size());
+  }
+}
+
+TEST_P(RoutingProperties, PathDelayEqualsEdgeDelaySum) {
+  const net::Topology t = build();
+  const UnicastRouting routes{t};
+  Rng rng{GetParam().seed ^ 0x9999};
+  const auto n = static_cast<std::int64_t>(t.node_count());
+  for (int i = 0; i < 100; ++i) {
+    const NodeId from{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId to{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    if (from == to) continue;
+    const auto path = routes.path(from, to);
+    Time sum = 0;
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      const auto link = t.find_link(path[k], path[k + 1]);
+      ASSERT_TRUE(link.has_value());
+      sum += t.edge(*link).attrs.delay;
+    }
+    EXPECT_DOUBLE_EQ(sum, routes.path_delay(from, to));
+  }
+}
+
+TEST_P(RoutingProperties, DistanceIsMinimalOverSampledDetours) {
+  // No single-intermediate detour may beat the shortest path.
+  const net::Topology t = build();
+  const UnicastRouting routes{t};
+  Rng rng{GetParam().seed ^ 0x4444};
+  const auto n = static_cast<std::int64_t>(t.node_count());
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId b{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId via{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    if (a == b || via == a || via == b) continue;
+    EXPECT_LE(routes.distance(a, b),
+              routes.distance(a, via) + routes.distance(via, b) + 1e-9);
+  }
+}
+
+TEST_P(RoutingProperties, SymmetrizedCostsSymmetrizeDistances) {
+  net::Topology t = build();
+  topo::symmetrize_costs(t);
+  const UnicastRouting routes{t};
+  Rng rng{GetParam().seed ^ 0xBEEF};
+  const auto n = static_cast<std::int64_t>(t.node_count());
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    const NodeId b{static_cast<std::uint32_t>(rng.uniform_int(0, n - 1))};
+    if (a == b) continue;
+    EXPECT_DOUBLE_EQ(routes.distance(a, b), routes.distance(b, a));
+  }
+}
+
+TEST_P(RoutingProperties, AsymmetryVanishesWhenSymmetrized) {
+  net::Topology t = build();
+  {
+    const UnicastRouting routes{t};
+    // Randomized integer costs make some asymmetry overwhelmingly likely
+    // on every non-trivial topology (sanity of the experiment setup).
+    EXPECT_GT(measure_asymmetry(routes).asymmetric_fraction(), 0.0);
+  }
+  topo::symmetrize_costs(t);
+  const UnicastRouting routes{t};
+  // Path sets may still differ on equal-cost ties, but cost skew must be 0.
+  EXPECT_DOUBLE_EQ(measure_asymmetry(routes).max_cost_skew, 0.0);
+}
+
+constexpr Case kCases[] = {
+    {1, Case::kIsp},    {2, Case::kIsp},    {3, Case::kRandom},
+    {4, Case::kRandom}, {5, Case::kWaxman}, {6, Case::kWaxman},
+    {7, Case::kGrid},
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& param_info) {
+  const char* names[] = {"isp", "random", "waxman", "grid"};
+  return std::string(names[param_info.param.kind]) + "_seed" +
+         std::to_string(param_info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, RoutingProperties,
+                         ::testing::ValuesIn(kCases), case_name);
+
+}  // namespace
+}  // namespace hbh::routing

@@ -1,0 +1,202 @@
+// Unit tests for Dijkstra SPF, all-pairs unicast routing, and the
+// asymmetry analysis used throughout the paper reproduction.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/unicast.hpp"
+
+namespace hbh::routing {
+namespace {
+
+using net::LinkAttrs;
+using net::Topology;
+
+// A 4-node diamond:   0 --1-- 1 --1-- 3
+//                      \--5-- 2 --1--/
+Topology diamond() {
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_node();
+  t.add_duplex(NodeId{0}, NodeId{1}, LinkAttrs{1, 1});
+  t.add_duplex(NodeId{1}, NodeId{3}, LinkAttrs{1, 1});
+  t.add_duplex(NodeId{0}, NodeId{2}, LinkAttrs{5, 5});
+  t.add_duplex(NodeId{2}, NodeId{3}, LinkAttrs{1, 1});
+  return t;
+}
+
+TEST(DijkstraTest, PicksCheapestPath) {
+  const Topology t = diamond();
+  const SpfResult spf = dijkstra(t, NodeId{0});
+  EXPECT_DOUBLE_EQ(spf.dist[3], 2.0);           // via node 1
+  EXPECT_EQ(spf.parent[3], NodeId{1});
+  EXPECT_EQ(spf.first_hop[3], NodeId{1});
+  EXPECT_DOUBLE_EQ(spf.dist[2], 3.0);           // 0->1->3->2 beats direct 5
+  EXPECT_EQ(spf.first_hop[2], NodeId{1});
+}
+
+TEST(DijkstraTest, RootHasZeroDistanceAndNoParent) {
+  const Topology t = diamond();
+  const SpfResult spf = dijkstra(t, NodeId{0});
+  EXPECT_DOUBLE_EQ(spf.dist[0], 0.0);
+  EXPECT_EQ(spf.parent[0], kNoNode);
+  EXPECT_EQ(spf.first_hop[0], kNoNode);
+}
+
+TEST(DijkstraTest, UnreachableNodesAreInfinite) {
+  Topology t;
+  t.add_node();
+  t.add_node();
+  const SpfResult spf = dijkstra(t, NodeId{0});
+  EXPECT_FALSE(spf.reachable(NodeId{1}));
+  EXPECT_EQ(spf.dist[1], kUnreachable);
+}
+
+TEST(DijkstraTest, RespectsEdgeDirection) {
+  Topology t;
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  t.add_link(a, b, LinkAttrs{1, 1});
+  EXPECT_TRUE(dijkstra(t, a).reachable(b));
+  EXPECT_FALSE(dijkstra(t, b).reachable(a));
+}
+
+TEST(DijkstraTest, DelayAccumulatesAlongChosenPath) {
+  Topology t;
+  for (int i = 0; i < 3; ++i) t.add_node();
+  // cost favors 0->1->2; delays differ from costs.
+  t.add_link(NodeId{0}, NodeId{1}, LinkAttrs{1, 10});
+  t.add_link(NodeId{1}, NodeId{2}, LinkAttrs{1, 20});
+  t.add_link(NodeId{0}, NodeId{2}, LinkAttrs{5, 1});
+  const SpfResult spf = dijkstra(t, NodeId{0});
+  EXPECT_DOUBLE_EQ(spf.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(spf.delay[2], 30.0);  // delay of the *cost-chosen* path
+}
+
+TEST(DijkstraTest, CustomMetricChangesRoutes) {
+  Topology t;
+  for (int i = 0; i < 3; ++i) t.add_node();
+  t.add_link(NodeId{0}, NodeId{1}, LinkAttrs{1, 10});
+  t.add_link(NodeId{1}, NodeId{2}, LinkAttrs{1, 20});
+  t.add_link(NodeId{0}, NodeId{2}, LinkAttrs{5, 1});
+  const SpfResult by_delay = dijkstra(t, NodeId{0}, delay_metric());
+  EXPECT_EQ(by_delay.first_hop[2], NodeId{2});  // direct link wins on delay
+  EXPECT_DOUBLE_EQ(by_delay.delay[2], 1.0);
+}
+
+TEST(DijkstraTest, DeterministicOnEqualCostPaths) {
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_node();
+  t.add_duplex(NodeId{0}, NodeId{1}, LinkAttrs{1, 1});
+  t.add_duplex(NodeId{0}, NodeId{2}, LinkAttrs{1, 1});
+  t.add_duplex(NodeId{1}, NodeId{3}, LinkAttrs{1, 1});
+  t.add_duplex(NodeId{2}, NodeId{3}, LinkAttrs{1, 1});
+  const SpfResult a = dijkstra(t, NodeId{0});
+  const SpfResult b = dijkstra(t, NodeId{0});
+  EXPECT_EQ(a.first_hop[3], b.first_hop[3]);
+  EXPECT_EQ(a.parent[3], b.parent[3]);
+}
+
+TEST(UnicastRoutingTest, NextHopChainsReachDestination) {
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  NodeId at{0};
+  int hops = 0;
+  while (at != NodeId{3}) {
+    at = routes.next_hop(at, NodeId{3});
+    ASSERT_TRUE(at.valid());
+    ASSERT_LE(++hops, 4);
+  }
+  EXPECT_EQ(hops, 2);
+}
+
+TEST(UnicastRoutingTest, PathEndpointsInclusive) {
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  const auto p = routes.path(NodeId{0}, NodeId{3});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.front(), NodeId{0});
+  EXPECT_EQ(p[1], NodeId{1});
+  EXPECT_EQ(p.back(), NodeId{3});
+}
+
+TEST(UnicastRoutingTest, PathToSelfIsSingleton) {
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  const auto p = routes.path(NodeId{2}, NodeId{2});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], NodeId{2});
+  EXPECT_EQ(routes.next_hop(NodeId{2}, NodeId{2}), kNoNode);
+}
+
+TEST(UnicastRoutingTest, PathToUnreachableIsEmpty) {
+  Topology t;
+  t.add_node();
+  t.add_node();
+  const UnicastRouting routes{t};
+  EXPECT_TRUE(routes.path(NodeId{0}, NodeId{1}).empty());
+  EXPECT_FALSE(routes.reachable(NodeId{0}, NodeId{1}));
+}
+
+TEST(UnicastRoutingTest, AsymmetricCostsYieldAsymmetricRoutes) {
+  // 0->1 direct is cheap, 1->0 direct is expensive so 1 routes via 2.
+  Topology t;
+  for (int i = 0; i < 3; ++i) t.add_node();
+  t.add_duplex(NodeId{0}, NodeId{1}, LinkAttrs{1, 1}, LinkAttrs{10, 10});
+  t.add_duplex(NodeId{1}, NodeId{2}, LinkAttrs{2, 2}, LinkAttrs{2, 2});
+  t.add_duplex(NodeId{2}, NodeId{0}, LinkAttrs{2, 2}, LinkAttrs{2, 2});
+  const UnicastRouting routes{t};
+  const auto fwd = routes.path(NodeId{0}, NodeId{1});
+  const auto back = routes.path(NodeId{1}, NodeId{0});
+  ASSERT_EQ(fwd.size(), 2u);   // 0 -> 1 direct
+  ASSERT_EQ(back.size(), 3u);  // 1 -> 2 -> 0
+  EXPECT_DOUBLE_EQ(routes.distance(NodeId{0}, NodeId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(routes.distance(NodeId{1}, NodeId{0}), 4.0);
+}
+
+TEST(UnicastRoutingTest, PathDelayMatchesManualSum) {
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  EXPECT_DOUBLE_EQ(routes.path_delay(NodeId{0}, NodeId{3}), 2.0);
+  EXPECT_DOUBLE_EQ(routes.path_delay(NodeId{0}, NodeId{2}), 3.0);
+}
+
+TEST(UnicastRoutingTest, HopByHopConsistency) {
+  // Property: for every pair, next_hop at each node along the path agrees
+  // with the path itself (destination-based forwarding is loop-free).
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  for (std::uint32_t a = 0; a < t.node_count(); ++a) {
+    for (std::uint32_t b = 0; b < t.node_count(); ++b) {
+      if (a == b) continue;
+      const auto p = routes.path(NodeId{a}, NodeId{b});
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        EXPECT_EQ(routes.next_hop(p[i], NodeId{b}), p[i + 1]);
+      }
+    }
+  }
+}
+
+TEST(AsymmetryTest, SymmetricTopologyHasNoAsymmetry) {
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  const auto report = measure_asymmetry(routes);
+  EXPECT_EQ(report.asymmetric_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.asymmetric_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(report.max_cost_skew, 0.0);
+}
+
+TEST(AsymmetryTest, DetectsAsymmetricPairs) {
+  Topology t;
+  for (int i = 0; i < 3; ++i) t.add_node();
+  t.add_duplex(NodeId{0}, NodeId{1}, LinkAttrs{1, 1}, LinkAttrs{10, 10});
+  t.add_duplex(NodeId{1}, NodeId{2}, LinkAttrs{2, 2});
+  t.add_duplex(NodeId{2}, NodeId{0}, LinkAttrs{2, 2});
+  const UnicastRouting routes{t};
+  const auto report = measure_asymmetry(routes);
+  EXPECT_GT(report.asymmetric_pairs, 0u);
+  EXPECT_EQ(report.ordered_pairs, 6u);
+  EXPECT_GT(report.max_cost_skew, 0.0);
+}
+
+}  // namespace
+}  // namespace hbh::routing

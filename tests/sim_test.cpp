@@ -1,0 +1,244 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// deadlines, periodic timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace hbh::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) q.push(5.0, [&, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredWhileOthersPendingKeepsCountCorrect) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.pop().fn();                 // fires a
+  EXPECT_FALSE(q.cancel(a));    // a already fired
+  EXPECT_EQ(q.size(), 1u);      // b still pending
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{999}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueueTest, ClearDrainsEverything) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  sim.schedule(2.0, [&] { stamps.push_back(sim.now()); });
+  sim.schedule(5.0, [&] { stamps.push_back(sim.now()); });
+  EXPECT_EQ(sim.run(), 2u);
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_DOUBLE_EQ(stamps[0], 2.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(1.0, recurse);
+  };
+  sim.schedule(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, RunRespectsDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule(i, [&] { ++fired; });
+  sim.run(4.0);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(SimulatorTest, RunForAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  sim.run_for(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.schedule(1.0, [] {});
+  sim.run_for(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  // A subsequent run resumes.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ResetClearsClockAndQueue) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  sim.schedule(1.0, [] {});
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, ExecutedCountsAcrossRuns) {
+  Simulator sim;
+  for (int i = 1; i <= 3; ++i) sim.schedule(i, [] {});
+  sim.run(1.5);
+  EXPECT_EQ(sim.executed(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriod) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  PeriodicTimer timer{sim, 10.0, [&] { stamps.push_back(sim.now()); }};
+  timer.start();
+  sim.run(35.0);
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_DOUBLE_EQ(stamps[0], 10.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 20.0);
+  EXPECT_DOUBLE_EQ(stamps[2], 30.0);
+}
+
+TEST(PeriodicTimerTest, CustomInitialDelay) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  PeriodicTimer timer{sim, 10.0, [&] { stamps.push_back(sim.now()); }};
+  timer.start(0.0);
+  sim.run(25.0);
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_DOUBLE_EQ(stamps[0], 0.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 10.0);
+  EXPECT_DOUBLE_EQ(stamps[2], 20.0);
+}
+
+TEST(PeriodicTimerTest, StopDisarms) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer{sim, 5.0, [&] { ++fired; }};
+  timer.start();
+  sim.run(12.0);
+  EXPECT_EQ(fired, 2);
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  sim.run(100.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimerTest, DestructionCancelsPending) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTimer timer{sim, 5.0, [&] { ++fired; }};
+    timer.start();
+  }
+  sim.run(100.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTimerTest, RestartResetsPhase) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  PeriodicTimer timer{sim, 10.0, [&] { stamps.push_back(sim.now()); }};
+  timer.start();
+  sim.run_for(4.0);
+  timer.start();  // re-arm at t=4: next firing at t=14
+  sim.run(20.0);
+  ASSERT_FALSE(stamps.empty());
+  EXPECT_DOUBLE_EQ(stamps[0], 14.0);
+}
+
+}  // namespace
+}  // namespace hbh::sim

@@ -1,0 +1,158 @@
+// Unit tests for the soft-state machinery and the protocol tables built
+// on it (HBH's MCT/MFT, REUNITE's dst-bearing MFT).
+#include <gtest/gtest.h>
+
+#include "mcast/common/soft_state.hpp"
+#include "mcast/hbh/tables.hpp"
+#include "mcast/reunite/tables.hpp"
+
+namespace hbh::mcast {
+namespace {
+
+const McastConfig kCfg{};  // T=10, t1=35, t2=70
+
+TEST(SoftEntryTest, FreshEntryLifecycle) {
+  SoftEntry e{kCfg, 0.0};
+  EXPECT_FALSE(e.stale(0.0));
+  EXPECT_FALSE(e.stale(34.9));
+  EXPECT_TRUE(e.stale(35.0));
+  EXPECT_FALSE(e.dead(69.9));
+  EXPECT_TRUE(e.dead(70.0));
+}
+
+TEST(SoftEntryTest, RefreshRestartsBothTimers) {
+  SoftEntry e{kCfg, 0.0};
+  e.refresh(kCfg, 30.0);
+  EXPECT_FALSE(e.stale(64.9));
+  EXPECT_TRUE(e.stale(65.0));
+  EXPECT_TRUE(e.dead(100.0));
+}
+
+TEST(SoftEntryTest, KeepaliveRefreshesT2Only) {
+  SoftEntry e{kCfg, 0.0};
+  e.expire_t1(0.0);
+  EXPECT_TRUE(e.stale(0.0));
+  e.refresh_keepalive(kCfg, 40.0);
+  EXPECT_TRUE(e.stale(40.0));     // still stale
+  EXPECT_FALSE(e.dead(100.0));    // but alive until 40 + t2
+  EXPECT_TRUE(e.dead(110.0));
+}
+
+TEST(SoftEntryTest, KeepaliveDoesNotReExpireFreshEntry) {
+  // Appendix A rule F4 keeps t1 expired if it was expired; a join-freshened
+  // entry must stay fresh through later fusions.
+  SoftEntry e{kCfg, 0.0};
+  e.refresh_keepalive(kCfg, 5.0);
+  EXPECT_FALSE(e.stale(10.0));  // t1 untouched, still fresh until 35
+}
+
+TEST(SoftEntryTest, MarkedFlagIndependentOfTimers) {
+  SoftEntry e{kCfg, 0.0};
+  e.set_marked(true);
+  EXPECT_TRUE(e.marked());
+  e.refresh(kCfg, 10.0);
+  EXPECT_TRUE(e.marked());  // refresh never clears marking
+  e.set_marked(false);
+  EXPECT_FALSE(e.marked());
+}
+
+TEST(SoftEntryTest, StateStringReflectsLifecycle) {
+  SoftEntry e{kCfg, 0.0};
+  EXPECT_EQ(e.state_string(0.0), "fresh");
+  EXPECT_EQ(e.state_string(40.0), "stale");
+  EXPECT_EQ(e.state_string(80.0), "dead");
+  e.set_marked(true);
+  EXPECT_EQ(e.state_string(0.0), "fresh+marked");
+}
+
+TEST(HbhMftTest, UpsertAndFind) {
+  hbh::Mft mft;
+  const Ipv4Addr a{10, 0, 0, 1};
+  EXPECT_TRUE(mft.empty());
+  mft.upsert(a, kCfg, 0.0);
+  EXPECT_EQ(mft.size(), 1u);
+  EXPECT_TRUE(mft.contains(a));
+  ASSERT_NE(mft.find(a), nullptr);
+  EXPECT_EQ(mft.find(Ipv4Addr{9, 9, 9, 9}), nullptr);
+}
+
+TEST(HbhMftTest, TargetSelectionBySoftState) {
+  hbh::Mft mft;
+  const Ipv4Addr fresh{10, 0, 0, 1};
+  const Ipv4Addr stale{10, 0, 0, 2};
+  const Ipv4Addr marked{10, 0, 0, 3};
+  mft.upsert(fresh, kCfg, 0.0);
+  mft.upsert(stale, kCfg, 0.0).expire_t1(0.0);
+  mft.upsert(marked, kCfg, 0.0).set_marked(true);
+
+  // Data goes to non-marked entries (stale included).
+  const auto data = mft.data_targets(1.0);
+  EXPECT_EQ(data, (std::vector<Ipv4Addr>{fresh, stale}));
+  // Tree messages go to non-stale entries (marked included).
+  const auto tree = mft.tree_targets(1.0);
+  EXPECT_EQ(tree, (std::vector<Ipv4Addr>{fresh, marked}));
+  // Fusion payloads list every live entry.
+  EXPECT_EQ(mft.live_targets(1.0).size(), 3u);
+}
+
+TEST(HbhMftTest, PurgeRemovesDeadOnly) {
+  hbh::Mft mft;
+  mft.upsert(Ipv4Addr{10, 0, 0, 1}, kCfg, 0.0);
+  mft.upsert(Ipv4Addr{10, 0, 0, 2}, kCfg, 50.0);
+  EXPECT_EQ(mft.purge(80.0), 1u);  // first died at 70
+  EXPECT_EQ(mft.size(), 1u);
+  EXPECT_TRUE(mft.contains(Ipv4Addr{10, 0, 0, 2}));
+}
+
+TEST(HbhMftTest, DeterministicIterationOrder) {
+  hbh::Mft mft;
+  mft.upsert(Ipv4Addr{10, 0, 0, 3}, kCfg, 0.0);
+  mft.upsert(Ipv4Addr{10, 0, 0, 1}, kCfg, 0.0);
+  mft.upsert(Ipv4Addr{10, 0, 0, 2}, kCfg, 0.0);
+  const auto targets = mft.data_targets(0.0);
+  ASSERT_EQ(targets.size(), 3u);
+  EXPECT_LT(targets[0], targets[1]);
+  EXPECT_LT(targets[1], targets[2]);
+}
+
+TEST(ReuniteMftTest, PurgePromotesFirstLiveEntryToDst) {
+  reunite::Mft mft;
+  mft.dst = Ipv4Addr{10, 0, 0, 1};
+  mft.dst_state = SoftEntry{kCfg, 0.0};
+  mft.entries.emplace(Ipv4Addr{10, 0, 0, 2}, SoftEntry{kCfg, 60.0});
+  EXPECT_FALSE(mft.purge(80.0));  // dst died; r2 promoted
+  EXPECT_EQ(mft.dst, (Ipv4Addr{10, 0, 0, 2}));
+  EXPECT_TRUE(mft.entries.empty());
+}
+
+TEST(ReuniteMftTest, PurgeDestroysWhenEverythingDead) {
+  reunite::Mft mft;
+  mft.dst = Ipv4Addr{10, 0, 0, 1};
+  mft.dst_state = SoftEntry{kCfg, 0.0};
+  mft.entries.emplace(Ipv4Addr{10, 0, 0, 2}, SoftEntry{kCfg, 0.0});
+  EXPECT_TRUE(mft.purge(100.0));
+}
+
+TEST(ReuniteMftTest, DataCopyTargetsIncludeStaleEntries) {
+  reunite::Mft mft;
+  mft.dst = Ipv4Addr{10, 0, 0, 1};
+  mft.dst_state = SoftEntry{kCfg, 0.0};
+  SoftEntry stale{kCfg, 0.0};
+  stale.expire_t1(0.0);
+  mft.entries.emplace(Ipv4Addr{10, 0, 0, 2}, stale);
+  EXPECT_EQ(mft.data_copy_targets(10.0).size(), 1u);  // stale still gets data
+  EXPECT_EQ(mft.data_copy_targets(80.0).size(), 0u);  // dead does not
+}
+
+TEST(McastConfigTest, DefaultsFollowDesignDoc) {
+  McastConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.join_period, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.tree_period, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.t1, 35.0);
+  EXPECT_DOUBLE_EQ(cfg.t2, 70.0);
+  EXPECT_GT(cfg.t1, cfg.join_period);  // several refresh chances before stale
+  EXPECT_GT(cfg.t2, cfg.t1);
+}
+
+}  // namespace
+}  // namespace hbh::mcast

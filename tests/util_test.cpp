@@ -1,0 +1,296 @@
+// Unit tests for the util module: ids, ipv4, rng, stats, log, env.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <unordered_set>
+
+#include "util/env.hpp"
+#include "util/ids.hpp"
+#include "util/ipv4.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hbh {
+namespace {
+
+TEST(Ids, DefaultNodeIdIsInvalid) {
+  NodeId n;
+  EXPECT_FALSE(n.valid());
+  EXPECT_EQ(n, kNoNode);
+}
+
+TEST(Ids, ExplicitNodeIdIsValidAndOrdered) {
+  NodeId a{1};
+  NodeId b{2};
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.index(), 1u);
+}
+
+TEST(Ids, NodeIdHashDistinguishes) {
+  std::unordered_set<NodeId> s{NodeId{1}, NodeId{2}, NodeId{1}};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Ids, ToStringFormats) {
+  EXPECT_EQ(to_string(NodeId{7}), "n7");
+  EXPECT_EQ(to_string(kNoNode), "n<invalid>");
+  EXPECT_EQ(to_string(LinkId{3}), "l3");
+}
+
+TEST(Ipv4, OctetConstructionAndFormatting) {
+  Ipv4Addr a{10, 0, 3, 1};
+  EXPECT_EQ(a.to_string(), "10.0.3.1");
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(3), 1);
+}
+
+TEST(Ipv4, ParseRoundTrip) {
+  const auto a = Ipv4Addr::parse("192.168.1.254");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.168.1.254");
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4, MulticastClassification) {
+  EXPECT_TRUE(Ipv4Addr(224, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Addr(239, 255, 255, 255).is_multicast());
+  EXPECT_FALSE(Ipv4Addr(192, 168, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Addr(232, 1, 2, 3).is_ssm());
+  EXPECT_FALSE(Ipv4Addr(233, 1, 2, 3).is_ssm());
+}
+
+TEST(Ipv4, UnspecifiedSentinel) {
+  EXPECT_TRUE(kNoAddr.unspecified());
+  EXPECT_FALSE(Ipv4Addr(1, 0, 0, 0).unspecified());
+}
+
+TEST(GroupAddrTest, SsmAllocatorYieldsValidDistinctGroups) {
+  const auto g0 = GroupAddr::ssm(0);
+  const auto g1 = GroupAddr::ssm(1);
+  EXPECT_TRUE(g0.valid());
+  EXPECT_TRUE(g0.addr().is_ssm());
+  EXPECT_NE(g0, g1);
+  EXPECT_EQ(g0.to_string(), "232.0.0.0");
+  EXPECT_EQ(g1.to_string(), "232.0.0.1");
+}
+
+TEST(GroupAddrTest, DefaultIsInvalid) {
+  GroupAddr g;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntStaysInRangeAndHitsAllValues) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 10);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all 10 values appear in 2000 draws
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng{11};
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng{5};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleDrawsDistinctElements) {
+  Rng rng{5};
+  std::vector<int> pool{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto picked = rng.sample(pool, 4);
+  ASSERT_EQ(picked.size(), 4u);
+  std::set<int> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(RngTest, SampleMoreThanPoolReturnsWholePool) {
+  Rng rng{5};
+  std::vector<int> pool{1, 2, 3};
+  EXPECT_EQ(rng.sample(pool, 10).size(), 3u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent{9};
+  Rng child = parent.fork();
+  // The child stream must not replay the parent's outputs.
+  Rng parent2{9};
+  (void)parent2.next();  // align with post-fork parent state
+  EXPECT_NE(child.next(), parent.next());
+}
+
+TEST(StatsTest, MeanAndVarianceMatchClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyAndSingleSampleEdgeCases) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(StatsTest, MergeEqualsSequentialFeed) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng{123};
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(StatsTest, Ci95ShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  Rng rng{77};
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform(0, 1));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(StatsTest, PercentileNearestRank) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99), 42.0);
+}
+
+TEST(LogTest, CaptureRecordsAndRestores) {
+  {
+    LogCapture capture;
+    log(LogLevel::kInfo, "hello ", 42);
+    log(LogLevel::kTrace, "fine-grained");
+    EXPECT_TRUE(capture.contains("hello 42"));
+    EXPECT_TRUE(capture.contains("fine-grained"));
+    EXPECT_EQ(capture.lines().size(), 2u);
+  }
+  // After capture, default level (kWarn) suppresses info logs; nothing to
+  // assert on stderr, but the call must not crash.
+  log(LogLevel::kInfo, "dropped");
+}
+
+TEST(LogTest, LevelFiltering) {
+  LogCapture capture{LogLevel::kWarn};
+  log(LogLevel::kDebug, "quiet");
+  log(LogLevel::kError, "loud");
+  EXPECT_FALSE(capture.contains("quiet"));
+  EXPECT_TRUE(capture.contains("loud"));
+}
+
+TEST(LogTest, CountOccurrences) {
+  LogCapture capture;
+  log(LogLevel::kInfo, "tick");
+  log(LogLevel::kInfo, "tick");
+  log(LogLevel::kInfo, "tock");
+  EXPECT_EQ(capture.count("tick"), 2u);
+  EXPECT_EQ(capture.count("tock"), 1u);
+  EXPECT_EQ(capture.count("boom"), 0u);
+}
+
+TEST(EnvTest, IntParsingAndDefaults) {
+  ::setenv("HBH_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("HBH_TEST_INT"), 123);
+  EXPECT_EQ(env_int_or("HBH_TEST_INT", 5), 123);
+  ::setenv("HBH_TEST_INT", "12x", 1);
+  EXPECT_FALSE(env_int("HBH_TEST_INT").has_value());
+  ::unsetenv("HBH_TEST_INT");
+  EXPECT_EQ(env_int_or("HBH_TEST_INT", 5), 5);
+}
+
+TEST(EnvTest, StringDefaults) {
+  ::setenv("HBH_TEST_STR", "abc", 1);
+  EXPECT_EQ(env_str_or("HBH_TEST_STR", "zzz"), "abc");
+  ::unsetenv("HBH_TEST_STR");
+  EXPECT_EQ(env_str_or("HBH_TEST_STR", "zzz"), "zzz");
+}
+
+}  // namespace
+}  // namespace hbh
