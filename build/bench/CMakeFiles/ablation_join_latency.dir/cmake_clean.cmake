@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join_latency.dir/ablation_join_latency.cpp.o"
+  "CMakeFiles/ablation_join_latency.dir/ablation_join_latency.cpp.o.d"
+  "ablation_join_latency"
+  "ablation_join_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state_overhead.dir/ablation_state_overhead.cpp.o"
+  "CMakeFiles/ablation_state_overhead.dir/ablation_state_overhead.cpp.o.d"
+  "ablation_state_overhead"
+  "ablation_state_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_tree_cost_isp.dir/fig7a_tree_cost_isp.cpp.o"
+  "CMakeFiles/fig7a_tree_cost_isp.dir/fig7a_tree_cost_isp.cpp.o.d"
+  "fig7a_tree_cost_isp"
+  "fig7a_tree_cost_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_tree_cost_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_tree_cost_rand.dir/fig7b_tree_cost_rand.cpp.o"
+  "CMakeFiles/fig7b_tree_cost_rand.dir/fig7b_tree_cost_rand.cpp.o.d"
+  "fig7b_tree_cost_rand"
+  "fig7b_tree_cost_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_tree_cost_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7b_tree_cost_rand.
+# This may be replaced when dependencies are built.

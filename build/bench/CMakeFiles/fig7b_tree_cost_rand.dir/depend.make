@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7b_tree_cost_rand.
+# This may be replaced when dependencies are built.

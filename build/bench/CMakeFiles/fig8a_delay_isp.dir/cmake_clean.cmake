@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_delay_isp.dir/fig8a_delay_isp.cpp.o"
+  "CMakeFiles/fig8a_delay_isp.dir/fig8a_delay_isp.cpp.o.d"
+  "fig8a_delay_isp"
+  "fig8a_delay_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_delay_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

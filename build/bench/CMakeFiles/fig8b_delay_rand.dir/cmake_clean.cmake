@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_delay_rand.dir/fig8b_delay_rand.cpp.o"
+  "CMakeFiles/fig8b_delay_rand.dir/fig8b_delay_rand.cpp.o.d"
+  "fig8b_delay_rand"
+  "fig8b_delay_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_delay_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

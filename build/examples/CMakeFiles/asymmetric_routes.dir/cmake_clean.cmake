@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_routes.dir/asymmetric_routes.cpp.o"
+  "CMakeFiles/asymmetric_routes.dir/asymmetric_routes.cpp.o.d"
+  "asymmetric_routes"
+  "asymmetric_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

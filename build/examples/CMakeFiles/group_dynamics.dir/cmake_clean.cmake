@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_dynamics.dir/group_dynamics.cpp.o"
+  "CMakeFiles/group_dynamics.dir/group_dynamics.cpp.o.d"
+  "group_dynamics"
+  "group_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbhsim.dir/hbhsim.cpp.o"
+  "CMakeFiles/hbhsim.dir/hbhsim.cpp.o.d"
+  "hbhsim"
+  "hbhsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbhsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_cloud.dir/multicast_cloud.cpp.o"
+  "CMakeFiles/multicast_cloud.dir/multicast_cloud.cpp.o.d"
+  "multicast_cloud"
+  "multicast_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

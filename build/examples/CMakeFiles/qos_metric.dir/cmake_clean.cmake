@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_metric.dir/qos_metric.cpp.o"
+  "CMakeFiles/qos_metric.dir/qos_metric.cpp.o.d"
+  "qos_metric"
+  "qos_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicast_clouds.dir/unicast_clouds.cpp.o"
+  "CMakeFiles/unicast_clouds.dir/unicast_clouds.cpp.o.d"
+  "unicast_clouds"
+  "unicast_clouds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicast_clouds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_harness.dir/experiment.cpp.o"
+  "CMakeFiles/hbh_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/hbh_harness.dir/session.cpp.o"
+  "CMakeFiles/hbh_harness.dir/session.cpp.o.d"
+  "libhbh_harness.a"
+  "libhbh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcast/common/membership.cpp" "src/mcast/CMakeFiles/hbh_mcast_common.dir/common/membership.cpp.o" "gcc" "src/mcast/CMakeFiles/hbh_mcast_common.dir/common/membership.cpp.o.d"
+  "/root/repo/src/mcast/common/soft_state.cpp" "src/mcast/CMakeFiles/hbh_mcast_common.dir/common/soft_state.cpp.o" "gcc" "src/mcast/CMakeFiles/hbh_mcast_common.dir/common/soft_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbh_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hbh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

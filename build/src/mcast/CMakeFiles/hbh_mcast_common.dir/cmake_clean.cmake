@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_mcast_common.dir/common/membership.cpp.o"
+  "CMakeFiles/hbh_mcast_common.dir/common/membership.cpp.o.d"
+  "CMakeFiles/hbh_mcast_common.dir/common/soft_state.cpp.o"
+  "CMakeFiles/hbh_mcast_common.dir/common/soft_state.cpp.o.d"
+  "libhbh_mcast_common.a"
+  "libhbh_mcast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_mcast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

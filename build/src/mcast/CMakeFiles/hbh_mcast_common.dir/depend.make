@@ -1,0 +1,2 @@
+# Empty dependencies file for hbh_mcast_common.
+# This may be replaced when dependencies are built.

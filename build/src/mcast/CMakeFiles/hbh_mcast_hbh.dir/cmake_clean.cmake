@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/igmp_leaf.cpp.o"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/igmp_leaf.cpp.o.d"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/router.cpp.o"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/router.cpp.o.d"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/source.cpp.o"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/source.cpp.o.d"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/tables.cpp.o"
+  "CMakeFiles/hbh_mcast_hbh.dir/hbh/tables.cpp.o.d"
+  "libhbh_mcast_hbh.a"
+  "libhbh_mcast_hbh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_mcast_hbh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

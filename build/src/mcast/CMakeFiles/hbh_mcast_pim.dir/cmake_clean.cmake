@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_mcast_pim.dir/pim/router.cpp.o"
+  "CMakeFiles/hbh_mcast_pim.dir/pim/router.cpp.o.d"
+  "CMakeFiles/hbh_mcast_pim.dir/pim/source.cpp.o"
+  "CMakeFiles/hbh_mcast_pim.dir/pim/source.cpp.o.d"
+  "libhbh_mcast_pim.a"
+  "libhbh_mcast_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_mcast_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hbh_mcast_pim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbh_mcast_pim.
+# This may be replaced when dependencies are built.

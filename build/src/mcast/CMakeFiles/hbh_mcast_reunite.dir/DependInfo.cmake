@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcast/reunite/router.cpp" "src/mcast/CMakeFiles/hbh_mcast_reunite.dir/reunite/router.cpp.o" "gcc" "src/mcast/CMakeFiles/hbh_mcast_reunite.dir/reunite/router.cpp.o.d"
+  "/root/repo/src/mcast/reunite/source.cpp" "src/mcast/CMakeFiles/hbh_mcast_reunite.dir/reunite/source.cpp.o" "gcc" "src/mcast/CMakeFiles/hbh_mcast_reunite.dir/reunite/source.cpp.o.d"
+  "/root/repo/src/mcast/reunite/tables.cpp" "src/mcast/CMakeFiles/hbh_mcast_reunite.dir/reunite/tables.cpp.o" "gcc" "src/mcast/CMakeFiles/hbh_mcast_reunite.dir/reunite/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcast/CMakeFiles/hbh_mcast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hbh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_mcast_reunite.dir/reunite/router.cpp.o"
+  "CMakeFiles/hbh_mcast_reunite.dir/reunite/router.cpp.o.d"
+  "CMakeFiles/hbh_mcast_reunite.dir/reunite/source.cpp.o"
+  "CMakeFiles/hbh_mcast_reunite.dir/reunite/source.cpp.o.d"
+  "CMakeFiles/hbh_mcast_reunite.dir/reunite/tables.cpp.o"
+  "CMakeFiles/hbh_mcast_reunite.dir/reunite/tables.cpp.o.d"
+  "libhbh_mcast_reunite.a"
+  "libhbh_mcast_reunite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_mcast_reunite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_metrics.dir/probe.cpp.o"
+  "CMakeFiles/hbh_metrics.dir/probe.cpp.o.d"
+  "CMakeFiles/hbh_metrics.dir/trace.cpp.o"
+  "CMakeFiles/hbh_metrics.dir/trace.cpp.o.d"
+  "libhbh_metrics.a"
+  "libhbh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbh_metrics.
+# This may be replaced when dependencies are built.

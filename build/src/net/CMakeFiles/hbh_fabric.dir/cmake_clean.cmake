@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_fabric.dir/network.cpp.o"
+  "CMakeFiles/hbh_fabric.dir/network.cpp.o.d"
+  "libhbh_fabric.a"
+  "libhbh_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

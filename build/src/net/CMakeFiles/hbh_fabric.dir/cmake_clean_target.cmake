@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbh_fabric.a"
+)

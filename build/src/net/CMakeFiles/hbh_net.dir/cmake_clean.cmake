@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_net.dir/packet.cpp.o"
+  "CMakeFiles/hbh_net.dir/packet.cpp.o.d"
+  "CMakeFiles/hbh_net.dir/topology.cpp.o"
+  "CMakeFiles/hbh_net.dir/topology.cpp.o.d"
+  "CMakeFiles/hbh_net.dir/wire.cpp.o"
+  "CMakeFiles/hbh_net.dir/wire.cpp.o.d"
+  "libhbh_net.a"
+  "libhbh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_routing.dir/dijkstra.cpp.o"
+  "CMakeFiles/hbh_routing.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/hbh_routing.dir/unicast.cpp.o"
+  "CMakeFiles/hbh_routing.dir/unicast.cpp.o.d"
+  "libhbh_routing.a"
+  "libhbh_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hbh_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hbh_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hbh_sim.dir/simulator.cpp.o.d"
+  "libhbh_sim.a"
+  "libhbh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cpp" "src/topo/CMakeFiles/hbh_topo.dir/builders.cpp.o" "gcc" "src/topo/CMakeFiles/hbh_topo.dir/builders.cpp.o.d"
+  "/root/repo/src/topo/isp.cpp" "src/topo/CMakeFiles/hbh_topo.dir/isp.cpp.o" "gcc" "src/topo/CMakeFiles/hbh_topo.dir/isp.cpp.o.d"
+  "/root/repo/src/topo/random.cpp" "src/topo/CMakeFiles/hbh_topo.dir/random.cpp.o" "gcc" "src/topo/CMakeFiles/hbh_topo.dir/random.cpp.o.d"
+  "/root/repo/src/topo/scenarios.cpp" "src/topo/CMakeFiles/hbh_topo.dir/scenarios.cpp.o" "gcc" "src/topo/CMakeFiles/hbh_topo.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_topo.dir/builders.cpp.o"
+  "CMakeFiles/hbh_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/hbh_topo.dir/isp.cpp.o"
+  "CMakeFiles/hbh_topo.dir/isp.cpp.o.d"
+  "CMakeFiles/hbh_topo.dir/random.cpp.o"
+  "CMakeFiles/hbh_topo.dir/random.cpp.o.d"
+  "CMakeFiles/hbh_topo.dir/scenarios.cpp.o"
+  "CMakeFiles/hbh_topo.dir/scenarios.cpp.o.d"
+  "libhbh_topo.a"
+  "libhbh_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_util.dir/env.cpp.o"
+  "CMakeFiles/hbh_util.dir/env.cpp.o.d"
+  "CMakeFiles/hbh_util.dir/ipv4.cpp.o"
+  "CMakeFiles/hbh_util.dir/ipv4.cpp.o.d"
+  "CMakeFiles/hbh_util.dir/log.cpp.o"
+  "CMakeFiles/hbh_util.dir/log.cpp.o.d"
+  "CMakeFiles/hbh_util.dir/rng.cpp.o"
+  "CMakeFiles/hbh_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hbh_util.dir/stats.cpp.o"
+  "CMakeFiles/hbh_util.dir/stats.cpp.o.d"
+  "libhbh_util.a"
+  "libhbh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_protocol_test.dir/hbh_protocol_test.cpp.o"
+  "CMakeFiles/hbh_protocol_test.dir/hbh_protocol_test.cpp.o.d"
+  "hbh_protocol_test"
+  "hbh_protocol_test.pdb"
+  "hbh_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbh_rules_test.dir/hbh_rules_test.cpp.o"
+  "CMakeFiles/hbh_rules_test.dir/hbh_rules_test.cpp.o.d"
+  "hbh_rules_test"
+  "hbh_rules_test.pdb"
+  "hbh_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbh_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

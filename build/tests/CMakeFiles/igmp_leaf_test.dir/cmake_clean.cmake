@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igmp_leaf_test.dir/igmp_leaf_test.cpp.o"
+  "CMakeFiles/igmp_leaf_test.dir/igmp_leaf_test.cpp.o.d"
+  "igmp_leaf_test"
+  "igmp_leaf_test.pdb"
+  "igmp_leaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igmp_leaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/network_test.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/network_test.dir/network_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hbh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hbh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hbh_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_protocol_test.dir/pim_protocol_test.cpp.o"
+  "CMakeFiles/pim_protocol_test.dir/pim_protocol_test.cpp.o.d"
+  "pim_protocol_test"
+  "pim_protocol_test.pdb"
+  "pim_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

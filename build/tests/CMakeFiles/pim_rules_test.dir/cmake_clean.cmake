@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_rules_test.dir/pim_rules_test.cpp.o"
+  "CMakeFiles/pim_rules_test.dir/pim_rules_test.cpp.o.d"
+  "pim_rules_test"
+  "pim_rules_test.pdb"
+  "pim_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

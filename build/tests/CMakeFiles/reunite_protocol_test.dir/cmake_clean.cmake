@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reunite_protocol_test.dir/reunite_protocol_test.cpp.o"
+  "CMakeFiles/reunite_protocol_test.dir/reunite_protocol_test.cpp.o.d"
+  "reunite_protocol_test"
+  "reunite_protocol_test.pdb"
+  "reunite_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reunite_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reunite_rules_test.dir/reunite_rules_test.cpp.o"
+  "CMakeFiles/reunite_rules_test.dir/reunite_rules_test.cpp.o.d"
+  "reunite_rules_test"
+  "reunite_rules_test.pdb"
+  "reunite_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reunite_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

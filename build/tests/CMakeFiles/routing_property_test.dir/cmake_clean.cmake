@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_property_test.dir/routing_property_test.cpp.o"
+  "CMakeFiles/routing_property_test.dir/routing_property_test.cpp.o.d"
+  "routing_property_test"
+  "routing_property_test.pdb"
+  "routing_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

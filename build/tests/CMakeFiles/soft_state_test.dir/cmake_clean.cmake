@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_state_test.dir/soft_state_test.cpp.o"
+  "CMakeFiles/soft_state_test.dir/soft_state_test.cpp.o.d"
+  "soft_state_test"
+  "soft_state_test.pdb"
+  "soft_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/source_agents_test.cpp" "tests/CMakeFiles/source_agents_test.dir/source_agents_test.cpp.o" "gcc" "tests/CMakeFiles/source_agents_test.dir/source_agents_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hbh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/hbh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hbh_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/hbh_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/hbh_mcast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/hbh_mcast_hbh.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/hbh_mcast_reunite.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/hbh_mcast_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hbh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/hbh_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_agents_test.dir/source_agents_test.cpp.o"
+  "CMakeFiles/source_agents_test.dir/source_agents_test.cpp.o.d"
+  "source_agents_test"
+  "source_agents_test.pdb"
+  "source_agents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

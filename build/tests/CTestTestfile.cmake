@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/hbh_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/reunite_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/pim_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_state_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pacing_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/hbh_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/reunite_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/pim_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/source_agents_test[1]_include.cmake")
+include("/root/repo/build/tests/igmp_leaf_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_property_test[1]_include.cmake")
