@@ -16,6 +16,7 @@ using harness::Protocol;
 using harness::Session;
 
 int main() {
+  init_log_level_from_env();
   const auto trials =
       static_cast<std::size_t>(env_int_or("HBH_TRIALS", 25));
   std::printf("=== Ablation: control-plane convergence time (ISP) ===\n");
@@ -51,5 +52,7 @@ int main() {
       "\nReading: convergence is measured from t=0 (first join) to the\n"
       "last router-state change; soft-state churn (entry expiry at t2=70)\n"
       "dominates HBH/REUNITE, while PIM settles as fast as joins travel.\n");
+  bench::maybe_write_bench_report("ablation_convergence",
+                                  harness::TopoKind::kIsp);
   return 0;
 }

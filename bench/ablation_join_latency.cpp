@@ -32,6 +32,7 @@ double measure_join_latency(Session& session, NodeId newcomer) {
 }  // namespace
 
 int main() {
+  init_log_level_from_env();
   const auto trials =
       static_cast<std::size_t>(env_int_or("HBH_TRIALS", 30));
   std::printf("=== Ablation: join latency of a late receiver (ISP) ===\n");
@@ -73,5 +74,7 @@ int main() {
       "(~one path RTT); HBH/REUNITE newcomers wait for the next source\n"
       "tree round to install forwarding state, i.e. up to one tree period\n"
       "plus propagation.\n");
+  bench::maybe_write_bench_report("ablation_join_latency",
+                                  harness::TopoKind::kIsp);
   return 0;
 }

@@ -18,6 +18,7 @@ using harness::Protocol;
 using harness::Session;
 
 int main() {
+  init_log_level_from_env();
   const auto trials =
       static_cast<std::size_t>(env_int_or("HBH_TRIALS", 30));
   std::printf("=== Ablation: router state & control overhead (ISP) ===\n");
@@ -64,5 +65,7 @@ int main() {
       "routers and keep single-entry MCTs elsewhere; PIM needs oif state at\n"
       "every on-tree router. Control rate counts every join/tree/fusion\n"
       "link transmission per refresh period.\n");
+  bench::maybe_write_bench_report("ablation_state_overhead",
+                                  harness::TopoKind::kIsp);
   return 0;
 }

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace hbh;
+  init_log_level_from_env();
   harness::ExperimentSpec spec =
       bench::spec_from_env(harness::TopoKind::kIsp);
   spec.symmetric_costs = true;
@@ -38,5 +39,9 @@ int main() {
   std::printf("max |HBH - PIM-SS| relative tree-cost gap: %.2f%% "
               "(identical trees up to equal-cost tie-breaks)\n",
               100.0 * max_gap);
+  if (harness::maybe_write_report_from_env(spec, results,
+                                           "ablation_symmetric")) {
+    std::printf("report: %s\n", env_str_or("HBH_REPORT", "").c_str());
+  }
   return 0;
 }

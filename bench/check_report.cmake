@@ -1,0 +1,29 @@
+# Runs a figure bench with HBH_REPORT set and asserts the JSON artifact
+# carries the report's load-bearing sections. Invoked by the
+# bench_report_e2e ctest case (see bench/CMakeLists.txt); expects -DBENCH
+# (binary path) and -DOUT (report path).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env HBH_TRIALS=2 "HBH_REPORT=${OUT}" ${BENCH}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE bench_stdout
+  ERROR_VARIABLE bench_stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${rc}:\n${bench_stdout}\n${bench_stderr}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "HBH_REPORT=${OUT} was not written")
+endif()
+file(READ "${OUT}" doc)
+
+foreach(needle
+    "\"schema\"" "hbh.run_report/v1" "\"sweep\"" "\"runs\"" "\"HBH\""
+    "\"counters\"" "\"net.tx.tree\"" "\"gauges\"" "\"series\""
+    "\"state.forwarding_entries\"" "\"messages\"" "\"wall_seconds\"")
+  string(FIND "${doc}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "report ${OUT} is missing ${needle}")
+  endif()
+endforeach()
+
+message(STATUS "report OK: ${OUT}")

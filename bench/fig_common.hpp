@@ -3,9 +3,11 @@
 // Each fig*_ binary reproduces one figure of the paper's §4.2: it runs the
 // four protocols over the figure's group-size sweep and prints the series
 // the paper plots. Environment knobs:
-//   HBH_TRIALS  — trials per sweep point (default 60; the paper uses 500)
-//   HBH_SEED    — base seed (default 20010827)
-//   HBH_CSV     — set to 1 to also print machine-readable CSV
+//   HBH_TRIALS    — trials per sweep point (default 60; the paper uses 500)
+//   HBH_SEED      — base seed (default 20010827)
+//   HBH_CSV       — set to 1 to also print machine-readable CSV
+//   HBH_REPORT    — write a JSON run report (hbh.run_report/v1) to this path
+//   HBH_LOG_LEVEL — trace|debug|info|warn|error
 #pragma once
 
 #include <cstdio>
@@ -13,6 +15,7 @@
 
 #include "harness/experiment.hpp"
 #include "util/env.hpp"
+#include "util/log.hpp"
 
 namespace hbh::bench {
 
@@ -34,6 +37,7 @@ inline harness::ExperimentSpec spec_from_env(harness::TopoKind topology) {
 
 inline int run_figure(const char* figure, const char* paper_caption,
                       harness::TopoKind topology, const char* metric) {
+  init_log_level_from_env();
   const harness::ExperimentSpec spec = spec_from_env(topology);
   std::printf("=== %s — %s ===\n", figure, paper_caption);
   std::printf("topology=%s trials=%zu seed=%llu (paper: 500 trials)\n\n",
@@ -54,7 +58,36 @@ inline int run_figure(const char* figure, const char* paper_caption,
   if (env_int_or("HBH_CSV", 0) != 0) {
     std::printf("\n%s", harness::format_csv(results).c_str());
   }
+  const std::string report = env_str_or("HBH_REPORT", "");
+  if (!report.empty()) {
+    if (harness::write_run_report(spec, results, figure, report)) {
+      std::printf("report: %s\n", report.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write HBH_REPORT=%s\n",
+                   report.c_str());
+      return 1;
+    }
+  }
   return 0;
+}
+
+/// HBH_REPORT support for benches that don't run a figure sweep: writes a
+/// report whose "runs" section still carries one instrumented trial per
+/// protocol (registry metrics, state time series, message counts).
+inline void maybe_write_bench_report(const char* name,
+                                     harness::TopoKind topology) {
+  const std::string path = env_str_or("HBH_REPORT", "");
+  if (path.empty()) return;
+  const harness::ExperimentSpec spec = spec_from_env(topology);
+  std::vector<harness::SweepResult> results;
+  for (const harness::Protocol p : harness::all_protocols()) {
+    results.push_back(harness::SweepResult{p, {}});
+  }
+  if (harness::write_run_report(spec, results, name, path)) {
+    std::printf("report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write HBH_REPORT=%s\n", path.c_str());
+  }
 }
 
 }  // namespace hbh::bench

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/experiment.hpp"
+#include "metrics/registry.hpp"
 #include "routing/unicast.hpp"
 #include "sim/simulator.hpp"
 #include "topo/isp.hpp"
@@ -84,6 +85,56 @@ void BM_HbhConvergenceIsp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HbhConvergenceIsp)->Arg(4)->Arg(16);
+
+// Telemetry hot path: one branch + one add when enabled (Arg(1)), one
+// branch when disabled (Arg(0)) — the "~zero cost when off" design claim.
+void BM_RegistryCounterInc(benchmark::State& state) {
+  metrics::Registry reg{state.range(0) != 0};
+  metrics::Counter& counter = reg.counter("bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterInc)->Arg(0)->Arg(1);
+
+void BM_RegistryHistogramObserve(benchmark::State& state) {
+  metrics::Registry reg{state.range(0) != 0};
+  metrics::Histogram& h =
+      reg.histogram("bench.sizes", {24, 32, 48, 64, 96, 128, 192, 256});
+  Rng rng{11};
+  for (auto _ : state) {
+    h.observe(rng.uniform(0, 300));
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryHistogramObserve)->Arg(0)->Arg(1);
+
+// Same workload as BM_HbhConvergenceIsp but with the full telemetry stack
+// on (taps, gauges, sampler); the delta over the plain run is the
+// instrumentation overhead budget.
+void BM_HbhConvergenceTelemetry(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng{7};
+    auto scenario = topo::make_isp();
+    topo::randomize_costs(scenario.topo, rng);
+    const auto picked = rng.sample(scenario.candidate_receivers(), 16);
+    harness::Session session{std::move(scenario), harness::Protocol::kHbh};
+    session.enable_telemetry(/*sample_period=*/10.0);
+    state.ResumeTiming();
+    Time delay = 0.1;
+    for (const NodeId r : picked) {
+      session.subscribe(r, delay);
+      delay += 1.0;
+    }
+    session.run_for(400);
+    benchmark::DoNotOptimize(session.simulator().executed());
+  }
+}
+BENCHMARK(BM_HbhConvergenceTelemetry);
 
 void BM_FullTrial(benchmark::State& state) {
   harness::ExperimentSpec spec;

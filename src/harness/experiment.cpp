@@ -1,12 +1,17 @@
 #include "harness/experiment.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <fstream>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <tuple>
 
+#include "metrics/report.hpp"
 #include "topo/isp.hpp"
 #include "topo/random.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace hbh::harness {
@@ -58,10 +63,15 @@ topo::Scenario build_scenario(const ExperimentSpec& spec, Rng& rng) {
   return topo::make_isp();
 }
 
-}  // namespace
+/// The paired-trial session for one cell, with joins scheduled but nothing
+/// run yet — shared by run_trial and the instrumented report runs.
+struct TrialSetup {
+  std::unique_ptr<Session> session;
+  Time last_join = 0;  ///< time the last join fires
+};
 
-TrialResult run_trial(const ExperimentSpec& spec, Protocol protocol,
-                      std::size_t group_size, std::size_t trial_index) {
+TrialSetup prepare_trial(const ExperimentSpec& spec, Protocol protocol,
+                         std::size_t group_size, std::size_t trial_index) {
   Rng rng{cell_seed(spec, group_size, trial_index)};
   topo::Scenario scenario = build_scenario(spec, rng);
   topo::randomize_costs(scenario.topo, rng);
@@ -73,17 +83,29 @@ TrialResult run_trial(const ExperimentSpec& spec, Protocol protocol,
 
   SessionConfig config;
   config.timers = spec.timers;
-  Session session{std::move(scenario), protocol, config};
+  TrialSetup setup;
+  setup.session =
+      std::make_unique<Session>(std::move(scenario), protocol, config);
   // Staggered joins in randomized order (the sample above is already
   // shuffled), spaced just over a tree period apart: each join meets the
   // state the previous receivers built, as in an ongoing session. The
   // warmup clock starts after the last join.
   Time delay = 0.1;
   for (const NodeId r : receivers) {
-    session.subscribe(r, delay);
+    setup.session->subscribe(r, delay);
     delay += 1.2 * spec.timers.tree_period;
   }
-  session.run_for(delay + spec.warmup);
+  setup.last_join = delay;
+  return setup;
+}
+
+}  // namespace
+
+TrialResult run_trial(const ExperimentSpec& spec, Protocol protocol,
+                      std::size_t group_size, std::size_t trial_index) {
+  TrialSetup setup = prepare_trial(spec, protocol, group_size, trial_index);
+  Session& session = *setup.session;
+  session.run_for(setup.last_join + spec.warmup);
 
   const Measurement m = session.measure(spec.drain);
   TrialResult result;
@@ -189,6 +211,109 @@ std::string format_csv(const std::vector<SweepResult>& results) {
     }
   }
   return out.str();
+}
+
+bool write_run_report(const ExperimentSpec& spec,
+                      const std::vector<SweepResult>& results,
+                      std::string_view figure, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  metrics::JsonWriter w(out);
+  w.begin_object();
+  w.member("schema", metrics::kRunReportSchema);
+  w.member("figure", figure);
+
+  w.key("spec");
+  w.begin_object();
+  w.member("topology", to_string(spec.topology));
+  w.member("trials", static_cast<std::uint64_t>(spec.trials));
+  w.member("base_seed", static_cast<std::uint64_t>(spec.base_seed));
+  w.member("symmetric_costs", spec.symmetric_costs);
+  w.member("warmup", spec.warmup);
+  w.member("drain", spec.drain);
+  w.key("group_sizes");
+  w.begin_array();
+  for (const std::size_t s : spec.group_sizes) {
+    w.value(static_cast<std::uint64_t>(s));
+  }
+  w.end_array();
+  w.end_object();
+
+  // The sweep summary (same numbers as format_csv).
+  w.key("sweep");
+  w.begin_array();
+  for (const auto& sweep : results) {
+    w.begin_object();
+    w.member("protocol", to_string(sweep.protocol));
+    w.key("cells");
+    w.begin_array();
+    for (const auto& cell : sweep.cells) {
+      w.begin_object();
+      w.member("group_size", static_cast<std::uint64_t>(cell.group_size));
+      w.member("tree_cost_mean", cell.tree_cost.mean());
+      w.member("tree_cost_ci95", cell.tree_cost.ci95_half_width());
+      w.member("mean_delay_mean", cell.mean_delay.mean());
+      w.member("mean_delay_ci95", cell.mean_delay.ci95_half_width());
+      w.member("trials", static_cast<std::uint64_t>(cell.tree_cost.count()));
+      w.member("delivery_failures",
+               static_cast<std::uint64_t>(cell.delivery_failures));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // One instrumented deep-dive per protocol: the largest swept group size,
+  // trial 0 — a cell the sweep already covered, re-run with telemetry on so
+  // the report carries registry metrics, state time series, and per-type
+  // message/byte counts without slowing the sweep itself.
+  const std::size_t size =
+      spec.group_sizes.empty() ? 2 : spec.group_sizes.back();
+  w.key("runs");
+  w.begin_object();
+  for (const auto& sweep : results) {
+    TrialSetup setup = prepare_trial(spec, sweep.protocol, size, 0);
+    Session& session = *setup.session;
+    session.enable_telemetry(spec.timers.tree_period);
+    session.run_for(setup.last_join + spec.warmup);
+    const Measurement m = session.measure(spec.drain);
+
+    metrics::RunReport report;
+    report.registry = session.registry();
+    report.sampler = session.sampler();
+    report.trace = session.trace();
+    report.info["protocol"] = std::string(to_string(sweep.protocol));
+    report.info["topology"] = std::string(to_string(spec.topology));
+    report.numbers["group_size"] = static_cast<double>(size);
+    report.numbers["probe.tree_cost"] = static_cast<double>(m.tree_cost);
+    report.numbers["probe.mean_delay"] = m.mean_delay;
+    report.numbers["probe.delivered"] = m.delivered_exactly_once() ? 1 : 0;
+    report.numbers["sim.end_time"] = session.simulator().now();
+
+    w.key(to_string(sweep.protocol));
+    w.begin_object();
+    report.write_body(w);
+    w.end_object();
+  }
+  w.end_object();
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  w.member("wall_seconds", wall.count());
+  w.end_object();
+  out << '\n';
+  return out.good();
+}
+
+bool maybe_write_report_from_env(const ExperimentSpec& spec,
+                                 const std::vector<SweepResult>& results,
+                                 std::string_view figure) {
+  const std::string path = env_str_or("HBH_REPORT", "");
+  if (path.empty()) return false;
+  return write_run_report(spec, results, figure, path);
 }
 
 }  // namespace hbh::harness

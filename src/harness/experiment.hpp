@@ -88,4 +88,19 @@ struct SweepResult {
 /// Machine-readable CSV (group_size,protocol,metric,mean,ci95,trials).
 [[nodiscard]] std::string format_csv(const std::vector<SweepResult>& results);
 
+/// Writes a machine-readable JSON run report (schema hbh.run_report/v1) to
+/// `path`: the sweep summary in `results`, plus one fully instrumented
+/// re-run per protocol (largest group size, trial 0, telemetry enabled) with
+/// registry metrics, sampled protocol-state time series, and per-type
+/// message/byte counts. Returns false if the file could not be created.
+bool write_run_report(const ExperimentSpec& spec,
+                      const std::vector<SweepResult>& results,
+                      std::string_view figure, const std::string& path);
+
+/// Honors HBH_REPORT=path.json (docs/OBSERVABILITY.md): writes the report
+/// there and returns true, or does nothing when the variable is unset.
+bool maybe_write_report_from_env(const ExperimentSpec& spec,
+                                 const std::vector<SweepResult>& results,
+                                 std::string_view figure);
+
 }  // namespace hbh::harness

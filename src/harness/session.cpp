@@ -47,6 +47,93 @@ Session::Session(topo::Scenario scenario, Protocol protocol,
 
 Session::~Session() {
   net_->set_tap(nullptr);  // probe may outlive call frames, not the session
+  if (sampler_) sampler_->stop();
+  if (stats_tap_) net_->remove_tap(stats_tap_.get());
+  if (trace_) net_->remove_tap(trace_.get());
+}
+
+net::AgentStats Session::aggregate_agent_stats() const {
+  net::AgentStats total;
+  const auto accumulate = [&](NodeId n) {
+    const net::AgentStats& s = net_->agent(n).stats();
+    for (std::size_t i = 0; i < net::kPacketTypeCount; ++i) {
+      total.rx_by_type[i] += s.rx_by_type[i];
+    }
+    total.timer_fires += s.timer_fires;
+  };
+  for (const NodeId router : scenario_.routers) accumulate(router);
+  for (const NodeId host : scenario_.hosts) accumulate(host);
+  return total;
+}
+
+metrics::Registry& Session::enable_telemetry(Time sample_period) {
+  if (registry_) return *registry_;
+  registry_ = std::make_unique<metrics::Registry>();
+  metrics::Registry& reg = *registry_;
+
+  // Fabric: per-type tx/byte counters + drop counts + size histogram, and
+  // a bounded structured trace for the report's message summary. Both ride
+  // the persistent multi-tap seam, so measure()'s exclusive probe slot
+  // stays free.
+  stats_tap_ = std::make_unique<metrics::NetworkStatsTap>(reg);
+  trace_ = std::make_unique<metrics::MessageTrace>();
+  net_->add_tap(stats_tap_.get());
+  net_->add_tap(trace_.get());
+
+  // Simulator health.
+  reg.bind_gauge("sim.pending",
+                 [this] { return static_cast<double>(sim_.pending()); });
+  reg.bind_gauge("sim.peak_pending",
+                 [this] { return static_cast<double>(sim_.peak_pending()); });
+  reg.bind_gauge("sim.executed_events",
+                 [this] { return static_cast<double>(sim_.executed()); });
+
+  // Protocol state (the paper's §2.1 router-state story, over time).
+  reg.bind_gauge("state.control_entries", [this] {
+    return static_cast<double>(state_census().control_entries);
+  });
+  reg.bind_gauge("state.forwarding_entries", [this] {
+    return static_cast<double>(state_census().forwarding_entries);
+  });
+  reg.bind_gauge("state.stateful_routers", [this] {
+    return static_cast<double>(state_census().routers_with_state);
+  });
+  reg.bind_gauge("state.structural_changes", [this] {
+    return static_cast<double>(total_structural_changes());
+  });
+  reg.bind_gauge("session.members",
+                 [this] { return static_cast<double>(members().size()); });
+
+  // Aggregated per-agent receive/timer counters.
+  reg.bind_gauge("agents.timer_fires", [this] {
+    return static_cast<double>(aggregate_agent_stats().timer_fires);
+  });
+  for (std::size_t i = 0; i < net::kPacketTypeCount; ++i) {
+    const auto type = static_cast<net::PacketType>(i);
+    reg.bind_gauge(std::string("agents.rx.") +
+                       std::string(net::to_string(type)),
+                   [this, i] {
+                     return static_cast<double>(
+                         aggregate_agent_stats().rx_by_type[i]);
+                   });
+  }
+
+  if (protocol_ == Protocol::kHbh) {
+    reg.bind_gauge("hbh.joins_intercepted", [this] {
+      std::uint64_t total = 0;
+      for (const NodeId router : scenario_.routers) {
+        if (is_unicast_only(router)) continue;
+        total += static_cast<const mcast::hbh::HbhRouter&>(net_->agent(router))
+                     .joins_intercepted();
+      }
+      return static_cast<double>(total);
+    });
+  }
+
+  sampler_ =
+      std::make_unique<metrics::StateSampler>(sim_, reg, sample_period);
+  sampler_->start();
+  return reg;
 }
 
 bool Session::is_unicast_only(NodeId n) const {

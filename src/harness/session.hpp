@@ -15,7 +15,11 @@
 #include <vector>
 
 #include "mcast/common/membership.hpp"
+#include "metrics/net_stats.hpp"
 #include "metrics/probe.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
+#include "metrics/trace.hpp"
 #include "net/network.hpp"
 #include "routing/unicast.hpp"
 #include "sim/simulator.hpp"
@@ -119,6 +123,28 @@ class Session {
   /// The receiver host agent (for tests needing raw deliveries).
   [[nodiscard]] mcast::ReceiverHost& receiver(NodeId host) const;
 
+  /// Switches run-wide telemetry on: installs a fabric stats tap and a
+  /// message trace on the network, binds protocol-state gauges (MFT/MCT
+  /// entry counts, event-queue depth, membership, per-agent message and
+  /// timer counters), and arms a StateSampler that snapshots every gauge
+  /// every `sample_period` time units. Idempotent; telemetry stays off —
+  /// and costs nothing on the packet path — unless this is called.
+  metrics::Registry& enable_telemetry(Time sample_period = 10.0);
+
+  /// Null until enable_telemetry() is called.
+  [[nodiscard]] metrics::Registry* registry() noexcept {
+    return registry_.get();
+  }
+  [[nodiscard]] const metrics::StateSampler* sampler() const noexcept {
+    return sampler_.get();
+  }
+  [[nodiscard]] const metrics::MessageTrace* trace() const noexcept {
+    return trace_.get();
+  }
+
+  /// Sum of all agents' receive/timer counters (always available).
+  [[nodiscard]] net::AgentStats aggregate_agent_stats() const;
+
  private:
   void install_agents(const SessionConfig& config);
   [[nodiscard]] bool is_unicast_only(NodeId n) const;
@@ -136,6 +162,12 @@ class Session {
   std::uint64_t next_probe_ = 1;
   std::uint32_t next_seq_ = 0;
   std::unique_ptr<metrics::DataProbe> active_probe_;
+  // Telemetry (all null while disabled). Declared after net_ so the taps
+  // are destroyed first; ~Session detaches them from the network anyway.
+  std::unique_ptr<metrics::Registry> registry_;
+  std::unique_ptr<metrics::NetworkStatsTap> stats_tap_;
+  std::unique_ptr<metrics::MessageTrace> trace_;
+  std::unique_ptr<metrics::StateSampler> sampler_;
 };
 
 }  // namespace hbh::harness

@@ -18,8 +18,10 @@ void ReceiverHost::subscribe(const net::Channel& channel, Ipv4Addr root) {
   Subscription sub;
   sub.root = root;
   sub.timer = std::make_unique<sim::PeriodicTimer>(
-      simulator(), config_.join_period,
-      [this, channel] { send_refresh(channel); });
+      simulator(), config_.join_period, [this, channel] {
+        count_timer_fire();
+        send_refresh(channel);
+      });
   sub.timer->start();  // periodic refreshes; the first join goes out now
   subs_.emplace(channel, std::move(sub));
   send_refresh(channel);

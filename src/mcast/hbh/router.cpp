@@ -116,6 +116,7 @@ void HbhRouter::on_join(Packet&& packet) {
         // J3: intercept. Full refresh (marked entries stay marked: the
         // refresh keeps t1/t2 alive so tree messages keep flowing to R).
         entry->refresh(config_, now());
+        ++joins_intercepted_;
         log(LogLevel::kTrace, to_string(self()), " intercepts join(",
             join.receiver.to_string(), ")");
         send_self_join(ch);

@@ -57,6 +57,12 @@ class HbhRouter : public net::ProtocolAgent {
     return structural_changes_;
   }
 
+  /// Joins intercepted under rule J3 (HBH's signature mechanism: refresh
+  /// locally, join upstream as ourselves) — a telemetry gauge input.
+  [[nodiscard]] std::uint64_t joins_intercepted() const noexcept {
+    return joins_intercepted_;
+  }
+
  private:
   void on_join(net::Packet&& packet);
   void on_tree(net::Packet&& packet);
@@ -81,6 +87,7 @@ class HbhRouter : public net::ProtocolAgent {
   std::unordered_map<net::Channel, ReplicationGuard> guards_;
   std::unordered_map<net::Channel, std::uint32_t> last_wave_;
   std::uint64_t structural_changes_ = 0;
+  std::uint64_t joins_intercepted_ = 0;
 };
 
 }  // namespace hbh::mcast::hbh

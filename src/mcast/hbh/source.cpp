@@ -15,6 +15,7 @@ void HbhSource::start() {
 }
 
 void HbhSource::emit_tree_round() {
+  count_timer_fire();
   const Time now = simulator().now();
   mft_.purge(now);
   ++wave_;

@@ -18,6 +18,7 @@ void ReuniteSource::purge() {
 }
 
 void ReuniteSource::emit_tree_round() {
+  count_timer_fire();
   const Time now = simulator().now();
   purge();
   if (!mft_) return;

@@ -1,0 +1,133 @@
+#include "metrics/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace hbh::metrics {
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already wrote the comma and "key":
+  }
+  assert(!wrote_root_ || !stack_.empty());  // one root value only
+  if (stack_.empty()) return;
+  Frame& frame = stack_.back();
+  if (!frame.first) out_ << ',';
+  frame.first = false;
+  if (indent_ > 0) {
+    out_ << '\n'
+         << std::string(static_cast<std::size_t>(indent_) * stack_.size(),
+                        ' ');
+  }
+}
+
+void JsonWriter::raw(std::string_view text) {
+  separate();
+  out_ << text;
+  wrote_root_ = true;
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  stack_.push_back(Frame{'{'});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().kind == '{');
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty && indent_ > 0) {
+    out_ << '\n'
+         << std::string(static_cast<std::size_t>(indent_) * stack_.size(),
+                        ' ');
+  }
+  out_ << '}';
+  wrote_root_ = true;
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  stack_.push_back(Frame{'['});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().kind == '[');
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty && indent_ > 0) {
+    out_ << '\n'
+         << std::string(static_cast<std::size_t>(indent_) * stack_.size(),
+                        ' ');
+  }
+  out_ << ']';
+  wrote_root_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back().kind == '{');
+  assert(!pending_key_);
+  separate();
+  out_ << quote(k) << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) { raw(quote(v)); }
+
+void JsonWriter::value(double v) {
+  if (!std::isfinite(v)) {
+    null();
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  raw(buf);
+}
+
+void JsonWriter::value(std::int64_t v) { raw(std::to_string(v)); }
+
+void JsonWriter::value(std::uint64_t v) { raw(std::to_string(v)); }
+
+void JsonWriter::value(bool v) { raw(v ? "true" : "false"); }
+
+void JsonWriter::null() { raw("null"); }
+
+}  // namespace hbh::metrics

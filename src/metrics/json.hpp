@@ -1,0 +1,74 @@
+// Minimal streaming JSON writer for run reports.
+//
+// The simulator has no third-party JSON dependency, and the reports it
+// writes are flat and regular, so a small stack-based writer is all that
+// is needed: correct escaping, correct commas, and non-finite doubles
+// mapped to null (JSON has no NaN/Infinity).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbh::metrics {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be followed by a value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <typename T>
+  void member(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once every opened container has been closed.
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && wrote_root_;
+  }
+
+  /// Escapes `s` as a JSON string literal (with quotes).
+  [[nodiscard]] static std::string quote(std::string_view s);
+
+ private:
+  struct Frame {
+    char kind;        ///< '{' or '['
+    bool first = true;
+  };
+
+  void separate();  ///< comma/newline/indent before a new element
+  void raw(std::string_view text);
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace hbh::metrics

@@ -1,0 +1,35 @@
+// Fabric-level telemetry tap.
+//
+// NetworkStatsTap plugs into the Network's PacketTap seam and feeds a
+// Registry with per-packet-type transmission counts, honest wire-encoded
+// byte counts, per-reason drop counts, and a packet-size histogram. All
+// counters are resolved once at construction, so the per-packet cost is a
+// handful of pointer-indirect increments (and exactly one branch each when
+// the registry is disabled).
+#pragma once
+
+#include <array>
+
+#include "metrics/registry.hpp"
+#include "net/network.hpp"
+
+namespace hbh::metrics {
+
+class NetworkStatsTap : public net::PacketTap {
+ public:
+  explicit NetworkStatsTap(Registry& registry);
+
+  void on_transmit(const net::Topology::Edge& edge, const net::Packet& packet,
+                   Time now) override;
+  void on_drop(NodeId at, const net::Packet& packet, std::string_view reason,
+               Time now) override;
+
+ private:
+  Registry& registry_;
+  std::array<Counter*, net::kPacketTypeCount> tx_{};
+  std::array<Counter*, net::kPacketTypeCount> tx_bytes_{};
+  Counter* drops_;
+  Histogram* packet_bytes_;
+};
+
+}  // namespace hbh::metrics

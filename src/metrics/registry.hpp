@@ -1,0 +1,175 @@
+// Run-wide telemetry registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design goals (DESIGN.md + docs/OBSERVABILITY.md):
+//  * O(1) hot path — instruments resolve their metric once at wiring time
+//    and then update through a stable reference; updates are one branch
+//    plus one add.
+//  * ~zero cost when disabled — every update checks a single shared
+//    `enabled` flag, and defining HBH_NO_TELEMETRY compiles updates out
+//    entirely (benches measure the event loop, not the bookkeeping).
+//  * Single-threaded by design, like the simulator it observes: one
+//    Registry belongs to one run (harness::Session owns one per session).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace hbh::metrics {
+
+#ifdef HBH_NO_TELEMETRY
+inline constexpr bool kTelemetryCompiled = false;
+#else
+inline constexpr bool kTelemetryCompiled = true;
+#endif
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if constexpr (kTelemetryCompiled) {
+      if (*enabled_) value_ += n;
+    } else {
+      (void)n;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(const bool* enabled) noexcept : enabled_(enabled) {}
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value. Either stored (set/add) or *bound* to a provider
+/// callback that is evaluated lazily at read time — how protocol state
+/// (MFT/MCT entry counts, queue depth) is exposed without per-update cost.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if constexpr (kTelemetryCompiled) {
+      if (*enabled_) value_ = v;
+    } else {
+      (void)v;
+    }
+  }
+  void add(double delta) noexcept {
+    if constexpr (kTelemetryCompiled) {
+      if (*enabled_) value_ += delta;
+    } else {
+      (void)delta;
+    }
+  }
+
+  /// Binds the gauge to a provider; value() then reflects the callback.
+  void bind(std::function<double()> provider) {
+    provider_ = std::move(provider);
+  }
+
+  [[nodiscard]] double value() const { return provider_ ? provider_() : value_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(const bool* enabled) noexcept : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0;
+  std::function<double()> provider_;
+};
+
+/// Fixed-bucket histogram: counts per upper bound, plus an overflow bucket
+/// and a running sum. Bounds are set once at registration and never
+/// reallocate, so observe() is a short scan over a handful of doubles.
+class Histogram {
+ public:
+  void observe(double v) noexcept {
+    if constexpr (kTelemetryCompiled) {
+      if (!*enabled_) return;
+      std::size_t i = 0;
+      while (i < bounds_.size() && v > bounds_[i]) ++i;
+      ++counts_[i];
+      sum_ += v;
+      ++total_;
+    } else {
+      (void)v;
+    }
+  }
+
+  /// Bucket upper bounds; counts() has one extra trailing overflow bucket.
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+ private:
+  friend class Registry;
+  Histogram(const bool* enabled, std::vector<double> bounds)
+      : enabled_(enabled),
+        bounds_(std::move(bounds)),
+        counts_(bounds_.size() + 1, 0) {}
+  const bool* enabled_;
+  std::vector<double> bounds_;  ///< strictly increasing upper bounds
+  std::vector<std::uint64_t> counts_;
+  double sum_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// One run's metrics, keyed by dotted names ("net.tx.join"). Lookup cost is
+/// paid once at registration; references stay valid for the registry's
+/// lifetime (metrics are heap-pinned and the registry never moves).
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Finds or creates the named metric. Registering the same name twice
+  /// returns the same object (so independent instruments can share it).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// For an existing histogram the original bounds are kept.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Convenience: registers a provider-bound gauge in one call.
+  Gauge& bind_gauge(std::string_view name, std::function<double()> provider);
+
+  // Export surface (ordered by name => deterministic reports).
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
+  counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Histogram>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  bool enabled_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hbh::metrics

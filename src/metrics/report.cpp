@@ -1,0 +1,112 @@
+#include "metrics/report.hpp"
+
+#include <fstream>
+
+namespace hbh::metrics {
+
+void RunReport::write_body(JsonWriter& w) const {
+  if (!info.empty()) {
+    w.key("info");
+    w.begin_object();
+    for (const auto& [k, v] : info) w.member(k, std::string_view{v});
+    w.end_object();
+  }
+  if (!numbers.empty()) {
+    w.key("numbers");
+    w.begin_object();
+    for (const auto& [k, v] : numbers) w.member(k, v);
+    w.end_object();
+  }
+
+  if (registry != nullptr) {
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, c] : registry->counters()) {
+      w.member(name, c->value());
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, g] : registry->gauges()) {
+      w.member(name, g->value());
+    }
+    w.end_object();
+    if (!registry->histograms().empty()) {
+      w.key("histograms");
+      w.begin_object();
+      for (const auto& [name, h] : registry->histograms()) {
+        w.key(name);
+        w.begin_object();
+        w.key("bounds");
+        w.begin_array();
+        for (const double b : h->bounds()) w.value(b);
+        w.end_array();
+        w.key("counts");
+        w.begin_array();
+        for (const std::uint64_t c : h->counts()) w.value(c);
+        w.end_array();
+        w.member("sum", h->sum());
+        w.member("count", h->count());
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+
+  if (sampler != nullptr) {
+    w.key("series");
+    w.begin_object();
+    for (const auto& [name, s] : sampler->series()) {
+      w.key(name);
+      w.begin_object();
+      w.key("t");
+      w.begin_array();
+      for (const Time t : s.t) w.value(t);
+      w.end_array();
+      w.key("v");
+      w.begin_array();
+      for (const double v : s.v) w.value(v);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    w.member("sample_period", sampler->period());
+    w.member("samples_truncated", sampler->truncated());
+  }
+
+  if (trace != nullptr) {
+    const auto counts = trace->histogram();
+    const auto bytes = trace->bytes_histogram();
+    w.key("messages");
+    w.begin_object();
+    for (const auto& [type, count] : counts) {
+      w.key(net::to_string(type));
+      w.begin_object();
+      w.member("count", count);
+      const auto it = bytes.find(type);
+      w.member("bytes", it == bytes.end() ? std::uint64_t{0}
+                                          : std::uint64_t{it->second});
+      w.end_object();
+    }
+    w.end_object();
+    w.member("messages_truncated", trace->truncated());
+  }
+}
+
+void RunReport::write(std::ostream& out) const {
+  JsonWriter w{out};
+  w.begin_object();
+  w.member("schema", kRunReportSchema);
+  write_body(w);
+  w.end_object();
+  out << '\n';
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  write(out);
+  return out.good();
+}
+
+}  // namespace hbh::metrics

@@ -1,0 +1,46 @@
+// Machine-readable run reports (schema "hbh.run_report/v1").
+//
+// A RunReport bundles everything one instrumented run produced — free-form
+// metadata, the Registry's counters/gauges/histograms, the StateSampler's
+// time series, and a MessageTrace's per-type message/byte summary — and
+// serializes it to JSON. Benches opt in with HBH_REPORT=path.json (see
+// docs/OBSERVABILITY.md for the schema), giving every future perf PR a
+// baseline artifact to diff against.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "metrics/json.hpp"
+#include "metrics/registry.hpp"
+#include "metrics/sampler.hpp"
+#include "metrics/trace.hpp"
+
+namespace hbh::metrics {
+
+inline constexpr std::string_view kRunReportSchema = "hbh.run_report/v1";
+
+struct RunReport {
+  /// Free-form string metadata ("protocol", "topology", ...).
+  std::map<std::string, std::string> info;
+  /// Free-form numeric metadata ("wall_seconds", "probe.tree_cost", ...).
+  std::map<std::string, double> numbers;
+
+  /// Optional sections; null pointers are simply omitted from the JSON.
+  const Registry* registry = nullptr;
+  const StateSampler* sampler = nullptr;
+  const MessageTrace* trace = nullptr;
+
+  /// Writes the report's keys into an already-open JSON object — lets a
+  /// caller embed several runs in one document (harness::write_run_report).
+  void write_body(JsonWriter& w) const;
+
+  /// Writes a standalone {schema, ...} document.
+  void write(std::ostream& out) const;
+
+  /// Writes to `path`; false if the file could not be created.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+};
+
+}  // namespace hbh::metrics

@@ -1,0 +1,31 @@
+#include "metrics/sampler.hpp"
+
+namespace hbh::metrics {
+
+StateSampler::StateSampler(sim::Simulator& simulator, Registry& registry,
+                           Time period, std::size_t max_samples)
+    : sim_(simulator),
+      registry_(registry),
+      max_samples_(max_samples),
+      timer_(simulator, period, [this] { sample_now(); }) {}
+
+void StateSampler::start() {
+  sample_now();
+  timer_.start();
+}
+
+void StateSampler::sample_now() {
+  if (samples_ >= max_samples_) {
+    truncated_ = true;
+    return;
+  }
+  const Time now = sim_.now();
+  for (const auto& [name, gauge] : registry_.gauges()) {
+    Series& s = series_[name];
+    s.t.push_back(now);
+    s.v.push_back(gauge->value());
+  }
+  ++samples_;
+}
+
+}  // namespace hbh::metrics

@@ -45,6 +45,7 @@ class MessageTrace : public net::PacketTap {
   [[nodiscard]] bool truncated() const noexcept { return truncated_; }
   void clear() {
     records_.clear();
+    bytes_.clear();  // parallel to records_ — must reset together
     truncated_ = false;
   }
 

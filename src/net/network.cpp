@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -80,6 +81,17 @@ void Network::start() {
   for (const auto& agent : agents_) agent->start();
 }
 
+void Network::add_tap(PacketTap* tap) {
+  assert(tap != nullptr);
+  if (std::find(taps_.begin(), taps_.end(), tap) == taps_.end()) {
+    taps_.push_back(tap);
+  }
+}
+
+void Network::remove_tap(PacketTap* tap) noexcept {
+  taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
+}
+
 void Network::send(NodeId from, Packet packet) {
   assert(topo_.contains(from));
   const NodeId dst = node_of(packet.dst);
@@ -91,7 +103,7 @@ void Network::send(NodeId from, Packet packet) {
     // Self-addressed: deliver locally after zero delay (still through the
     // event queue so handling order stays deterministic).
     sim_.schedule(0, [this, from, p = std::move(packet)]() mutable {
-      agents_[from.index()]->handle(std::move(p), kNoNode);
+      deliver(from, kNoNode, std::move(p));
     });
     return;
   }
@@ -131,14 +143,21 @@ void Network::transmit(LinkId link, Packet packet) {
     ++counters_.control_transmissions;
   }
   if (tap_ != nullptr) tap_->on_transmit(edge, packet, sim_.now());
+  for (PacketTap* tap : taps_) tap->on_transmit(edge, packet, sim_.now());
   log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to), " ",
       packet.describe());
   const NodeId to = edge.to;
   const NodeId from = edge.from;
   sim_.schedule(edge.attrs.delay,
                 [this, to, from, p = std::move(packet)]() mutable {
-                  agents_[to.index()]->handle(std::move(p), from);
+                  deliver(to, from, std::move(p));
                 });
+}
+
+void Network::deliver(NodeId to, NodeId from, Packet packet) {
+  ProtocolAgent& agent = *agents_[to.index()];
+  ++agent.stats_.rx_by_type[static_cast<std::size_t>(packet.type)];
+  agent.handle(std::move(packet), from);
 }
 
 void Network::drop(NodeId at, const Packet& packet, std::string_view reason) {
@@ -148,6 +167,7 @@ void Network::drop(NodeId at, const Packet& packet, std::string_view reason) {
     ++counters_.drops_no_route;
   }
   if (tap_ != nullptr) tap_->on_drop(at, packet, reason, sim_.now());
+  for (PacketTap* tap : taps_) tap->on_drop(at, packet, reason, sim_.now());
   log(LogLevel::kDebug, to_string(at), " drop(", reason, ") ",
       packet.describe());
 }

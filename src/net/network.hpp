@@ -9,6 +9,7 @@
 // per-link copies (tree cost) and per-receiver delays.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -24,6 +25,26 @@
 namespace hbh::net {
 
 class Network;
+
+/// Always-on per-agent telemetry counters: packets received by type plus
+/// local timer firings. Receives are counted centrally by the Network at
+/// delivery time; timer-driven agents (sources, receiver hosts) bump
+/// `timer_fires` themselves. Cheap enough to never gate (one array
+/// increment per delivered packet), these feed the harness telemetry's
+/// per-protocol message-overhead gauges.
+struct AgentStats {
+  std::array<std::uint64_t, kPacketTypeCount> rx_by_type{};
+  std::uint64_t timer_fires = 0;
+
+  [[nodiscard]] std::uint64_t rx(PacketType t) const noexcept {
+    return rx_by_type[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint64_t rx_total() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : rx_by_type) total += n;
+    return total;
+  }
+};
 
 /// Per-node protocol logic. An agent sees *every* packet arriving at its
 /// node — whether addressed to it or transiting — which is exactly what
@@ -44,6 +65,8 @@ class ProtocolAgent {
   [[nodiscard]] NodeId self() const noexcept { return node_; }
   [[nodiscard]] Ipv4Addr self_addr() const noexcept { return addr_; }
 
+  [[nodiscard]] const AgentStats& stats() const noexcept { return stats_; }
+
  protected:
   [[nodiscard]] Network& net() const noexcept { return *net_; }
   [[nodiscard]] sim::Simulator& simulator() const noexcept;
@@ -55,11 +78,16 @@ class ProtocolAgent {
   /// (counted); protocol agents override handle() instead.
   virtual void deliver_local(Packet&& packet, NodeId from);
 
+  /// Records one firing of an agent-owned periodic timer (tree rounds,
+  /// join refreshes) for the telemetry gauges.
+  void count_timer_fire() noexcept { ++stats_.timer_fires; }
+
  private:
   friend class Network;
   Network* net_ = nullptr;
   NodeId node_{};
   Ipv4Addr addr_{};
+  AgentStats stats_;
 };
 
 /// Observer of fabric activity; used by metrics probes and trace tooling.
@@ -118,7 +146,15 @@ class Network {
   /// exist). Used for multicast (RPF) forwarding along installed oifs.
   void send_direct(NodeId from, NodeId neighbor, Packet packet);
 
+  /// Sets the exclusive *measurement* tap slot (one active probe at a
+  /// time; pass nullptr to clear). Persistent observers — telemetry stats,
+  /// message traces — use add_tap()/remove_tap() instead and coexist with
+  /// whatever probe occupies this slot.
   void set_tap(PacketTap* tap) noexcept { tap_ = tap; }
+
+  /// Registers a persistent observer (no ownership; at most once each).
+  void add_tap(PacketTap* tap);
+  void remove_tap(PacketTap* tap) noexcept;
 
   [[nodiscard]] const NetworkCounters& counters() const noexcept {
     return counters_;
@@ -139,6 +175,8 @@ class Network {
 
  private:
   void transmit(LinkId link, Packet packet);
+  /// Hands an arrived packet to the node's agent (counting the receive).
+  void deliver(NodeId to, NodeId from, Packet packet);
   void drop(NodeId at, const Packet& packet, std::string_view reason);
 
   sim::Simulator& sim_;
@@ -147,6 +185,7 @@ class Network {
   std::vector<std::unique_ptr<ProtocolAgent>> agents_;
   std::unordered_map<Ipv4Addr, NodeId> addr_to_node_;
   PacketTap* tap_ = nullptr;
+  std::vector<PacketTap*> taps_;  ///< persistent observers (telemetry)
   NetworkCounters counters_;
 };
 

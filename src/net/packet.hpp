@@ -7,6 +7,7 @@
 // encoding, which the simulation does not need.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -83,6 +84,9 @@ enum class PacketType : std::uint8_t {
 };
 
 [[nodiscard]] std::string to_string(PacketType t);
+
+/// Number of PacketType values (for per-type counter arrays).
+inline constexpr std::size_t kPacketTypeCount = 6;
 
 /// Default initial TTL; generous for the ≤50-node topologies simulated here
 /// while still bounding any forwarding loop a protocol bug could create.

@@ -3,19 +3,24 @@
 #include <cassert>
 #include <utility>
 
+#include "util/log.hpp"
+
 namespace hbh::sim {
 
 EventId Simulator::schedule(Time delay, Callback fn) {
   assert(delay >= 0);
-  return queue_.push(now_ + delay, std::move(fn));
+  return track(queue_.push(now_ + delay, std::move(fn)));
 }
 
 EventId Simulator::schedule_at(Time when, Callback fn) {
   assert(when >= now_);
-  return queue_.push(when, std::move(fn));
+  return track(queue_.push(when, std::move(fn)));
 }
 
 std::size_t Simulator::run(Time deadline) {
+  // Stamp log lines with virtual time while events execute, so protocol
+  // traces line up with telemetry sampler timestamps.
+  ScopedLogTime log_time{[this] { return now_; }};
   stopped_ = false;
   std::size_t count = 0;
   while (!queue_.empty() && !stopped_) {
@@ -43,6 +48,7 @@ void Simulator::reset() {
   now_ = 0;
   stopped_ = false;
   executed_ = 0;
+  peak_pending_ = 0;
 }
 
 PeriodicTimer::PeriodicTimer(Simulator& simulator, Time period,

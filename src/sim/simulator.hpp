@@ -45,14 +45,26 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// High-water mark of the pending-event queue (telemetry: how bursty the
+  /// run was; reset() clears it).
+  [[nodiscard]] std::size_t peak_pending() const noexcept {
+    return peak_pending_;
+  }
+
   /// Discards all pending events and resets the clock to zero.
   void reset();
 
  private:
+  EventId track(EventId id) noexcept {
+    if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+    return id;
+  }
+
   EventQueue queue_;
   Time now_ = 0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 /// Repeating timer built on the simulator; used for the paper's periodic

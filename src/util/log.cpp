@@ -2,6 +2,8 @@
 
 #include <iostream>
 
+#include "util/env.hpp"
+
 namespace hbh {
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -37,8 +39,37 @@ void Logger::set_sink(Sink sink) {
   }
 }
 
+Logger::TimeSource Logger::set_time_source(TimeSource source) {
+  TimeSource previous = std::move(time_source_);
+  time_source_ = std::move(source);
+  return previous;
+}
+
 void Logger::write(LogLevel level, std::string_view message) {
+  if (time_source_) {
+    std::ostringstream stamped;
+    stamped << "[t=" << time_source_() << "] " << message;
+    sink_(level, stamped.str());
+    return;
+  }
   sink_(level, message);
+}
+
+std::optional<LogLevel> log_level_from_string(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void init_log_level_from_env() {
+  const std::string raw = env_str_or("HBH_LOG_LEVEL", "");
+  if (raw.empty()) return;
+  if (const auto level = log_level_from_string(raw)) {
+    Logger::instance().set_level(*level);
+  }
 }
 
 LogCapture::LogCapture(LogLevel level)

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -24,6 +25,7 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 }
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
+  using TimeSource = std::function<double()>;
 
   static Logger& instance();
 
@@ -32,6 +34,11 @@ class Logger {
 
   /// Replaces the sink; pass nullptr to restore the default stderr sink.
   void set_sink(Sink sink);
+
+  /// While a time source is set (a simulator is active), every line is
+  /// prefixed with the current virtual time: "[t=12.5] ...". Pass nullptr
+  /// to clear. Returns the previous source so scopes can nest.
+  TimeSource set_time_source(TimeSource source);
 
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
     return level >= level_;
@@ -43,7 +50,32 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+  TimeSource time_source_;
 };
+
+/// RAII: exposes a virtual clock to the logger while in scope (installed
+/// by sim::Simulator::run so traces carry "[t=...]" prefixes that line up
+/// with sampler timestamps).
+class ScopedLogTime {
+ public:
+  explicit ScopedLogTime(Logger::TimeSource source)
+      : previous_(Logger::instance().set_time_source(std::move(source))) {}
+  ~ScopedLogTime() { Logger::instance().set_time_source(std::move(previous_)); }
+  ScopedLogTime(const ScopedLogTime&) = delete;
+  ScopedLogTime& operator=(const ScopedLogTime&) = delete;
+
+ private:
+  Logger::TimeSource previous_;
+};
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" (case-sensitive,
+/// the metric-name spelling used everywhere else); nullopt otherwise.
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(
+    std::string_view name);
+
+/// Applies the HBH_LOG_LEVEL environment variable if set and valid — how
+/// the unattended bench binaries raise verbosity without a rebuild.
+void init_log_level_from_env();
 
 namespace detail {
 inline void append_all(std::ostringstream&) {}

@@ -93,6 +93,19 @@ TEST(MessageTraceTest, CapacityBoundsRecording) {
   EXPECT_FALSE(trace.truncated());
 }
 
+TEST(MessageTraceTest, ClearResetsParallelByteVector) {
+  // Regression: clear() used to reset records_ but not the parallel bytes_
+  // vector, so post-clear byte histograms paired old sizes with new records.
+  MessageTrace trace;
+  trace.on_transmit(edge(0, 1), packet_of(net::PacketType::kFusion), 1);
+  trace.clear();
+  const auto join = packet_of(net::PacketType::kJoin);
+  trace.on_transmit(edge(0, 1), join, 2);
+  const auto bytes = trace.bytes_histogram();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes.at(net::PacketType::kJoin), net::encoded_size(join));
+}
+
 TEST(MessageTraceTest, ToStringTruncatesOutput) {
   MessageTrace trace;
   for (int i = 0; i < 10; ++i) {
