@@ -74,8 +74,9 @@ inline int run_figure(const char* figure, const char* paper_caption,
 /// HBH_REPORT support for benches that don't run a figure sweep: writes a
 /// report whose "runs" section still carries one instrumented trial per
 /// protocol (registry metrics, state time series, message counts).
-inline void maybe_write_bench_report(const char* name,
-                                     harness::TopoKind topology) {
+inline void maybe_write_bench_report(
+    const char* name, harness::TopoKind topology,
+    const harness::SessionHook& customize = {}) {
   const std::string path = env_str_or("HBH_REPORT", "");
   if (path.empty()) return;
   const harness::ExperimentSpec spec = spec_from_env(topology);
@@ -83,7 +84,7 @@ inline void maybe_write_bench_report(const char* name,
   for (const harness::Protocol p : harness::all_protocols()) {
     results.push_back(harness::SweepResult{p, {}});
   }
-  if (harness::write_run_report(spec, results, name, path)) {
+  if (harness::write_run_report(spec, results, name, path, customize)) {
     std::printf("report: %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "error: cannot write HBH_REPORT=%s\n", path.c_str());

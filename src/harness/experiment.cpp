@@ -215,7 +215,8 @@ std::string format_csv(const std::vector<SweepResult>& results) {
 
 bool write_run_report(const ExperimentSpec& spec,
                       const std::vector<SweepResult>& results,
-                      std::string_view figure, const std::string& path) {
+                      std::string_view figure, const std::string& path,
+                      const SessionHook& customize) {
   std::ofstream out(path);
   if (!out) return false;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -278,6 +279,7 @@ bool write_run_report(const ExperimentSpec& spec,
     TrialSetup setup = prepare_trial(spec, sweep.protocol, size, 0);
     Session& session = *setup.session;
     session.enable_telemetry(spec.timers.tree_period);
+    if (customize) customize(session);
     session.run_for(setup.last_join + spec.warmup);
     const Measurement m = session.measure(spec.drain);
 

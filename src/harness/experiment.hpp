@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -92,10 +93,15 @@ struct SweepResult {
 /// `path`: the sweep summary in `results`, plus one fully instrumented
 /// re-run per protocol (largest group size, trial 0, telemetry enabled) with
 /// registry metrics, sampled protocol-state time series, and per-type
-/// message/byte counts. Returns false if the file could not be created.
+/// message/byte counts. `customize`, when set, runs on each instrumented
+/// session before the warmup — benches use it to re-apply their scenario
+/// conditions (e.g. fault injection) so the report reflects them.
+/// Returns false if the file could not be created.
+using SessionHook = std::function<void(Session&)>;
 bool write_run_report(const ExperimentSpec& spec,
                       const std::vector<SweepResult>& results,
-                      std::string_view figure, const std::string& path);
+                      std::string_view figure, const std::string& path,
+                      const SessionHook& customize = {});
 
 /// Honors HBH_REPORT=path.json (docs/OBSERVABILITY.md): writes the report
 /// there and returns true, or does nothing when the variable is unset.

@@ -1,0 +1,37 @@
+#include "harness/fault_plan.hpp"
+
+namespace hbh::harness {
+
+FaultPlan& FaultPlan::link_down(Time after, NodeId a, NodeId b) {
+  events_.push_back({after, FaultEvent::Kind::kLinkDown, a, b, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(Time after, NodeId a, NodeId b) {
+  events_.push_back({after, FaultEvent::Kind::kLinkUp, a, b, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::impair(Time after, NodeId a, NodeId b,
+                             const net::Impairment& impairment) {
+  events_.push_back({after, FaultEvent::Kind::kImpair, a, b, impairment});
+  return *this;
+}
+
+FaultPlan& FaultPlan::clear_impairments(Time after) {
+  events_.push_back(
+      {after, FaultEvent::Kind::kClearImpairments, NodeId{}, NodeId{}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(Time after, NodeId router) {
+  events_.push_back({after, FaultEvent::Kind::kCrash, router, NodeId{}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(Time after, NodeId router) {
+  events_.push_back({after, FaultEvent::Kind::kRestart, router, NodeId{}, {}});
+  return *this;
+}
+
+}  // namespace hbh::harness

@@ -1,0 +1,64 @@
+// A FaultPlan is a deterministic, time-ordered script of fault events —
+// link failures and repairs, impairment windows, router crashes and
+// restarts — that a Session schedules onto its simulator in one call.
+// Because the simulator is single-threaded and impairment randomness
+// comes from per-link seeded streams (net::ImpairmentPlane), replaying
+// the same plan against the same seed reproduces the run event-for-event
+// (docs/RESILIENCE.md).
+#pragma once
+
+#include <vector>
+
+#include "net/impairment.hpp"
+#include "util/ids.hpp"
+
+namespace hbh::harness {
+
+/// One scripted fault. `after` is a delay relative to the moment the plan
+/// is handed to Session::schedule_faults() — plans compose with an
+/// already-running session.
+struct FaultEvent {
+  enum class Kind {
+    kLinkDown,          ///< IGP-visible: routes recompute around a-b
+    kLinkUp,            ///< repair + route recomputation
+    kImpair,            ///< set duplex impairment on a-b (loss/dup/reorder)
+    kClearImpairments,  ///< lift every impairment on the fabric
+    kCrash,             ///< wipe router a's protocol state (control-plane crash)
+    kRestart,           ///< reinstall a fresh protocol agent on router a
+  };
+
+  Time after = 0;
+  Kind kind = Kind::kLinkDown;
+  NodeId a{};  ///< link endpoint / router
+  NodeId b{};  ///< second link endpoint (link events only)
+  net::Impairment impairment{};  ///< kImpair only
+};
+
+/// Fluent builder for fault scripts:
+///
+///   FaultPlan plan;
+///   plan.impair(10, n2, n5, {.loss = 0.05})
+///       .crash(40, n3)
+///       .restart(70, n3)
+///       .clear_impairments(100);
+///   session.schedule_faults(plan);
+class FaultPlan {
+ public:
+  FaultPlan& link_down(Time after, NodeId a, NodeId b);
+  FaultPlan& link_up(Time after, NodeId a, NodeId b);
+  FaultPlan& impair(Time after, NodeId a, NodeId b,
+                    const net::Impairment& impairment);
+  FaultPlan& clear_impairments(Time after);
+  FaultPlan& crash(Time after, NodeId router);
+  FaultPlan& restart(Time after, NodeId router);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace hbh::harness

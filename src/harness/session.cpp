@@ -35,6 +35,7 @@ Session::Session(topo::Scenario scenario, Protocol protocol,
                  SessionConfig config)
     : scenario_(std::move(scenario)),
       protocol_(protocol),
+      timers_(config.timers),
       unicast_only_(config.unicast_only) {
   assert(scenario_.source_host.valid());
   routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
@@ -120,9 +121,9 @@ metrics::Registry& Session::enable_telemetry(Time sample_period) {
 
   if (protocol_ == Protocol::kHbh) {
     reg.bind_gauge("hbh.joins_intercepted", [this] {
-      std::uint64_t total = 0;
+      std::uint64_t total = retired_joins_intercepted_;
       for (const NodeId router : scenario_.routers) {
-        if (is_unicast_only(router)) continue;
+        if (is_unicast_only(router) || crashed(router)) continue;
         total += static_cast<const mcast::hbh::HbhRouter&>(net_->agent(router))
                      .joins_intercepted();
       }
@@ -143,6 +144,19 @@ bool Session::is_unicast_only(NodeId n) const {
   return false;
 }
 
+std::unique_ptr<net::ProtocolAgent> Session::make_router_agent() const {
+  switch (protocol_) {
+    case Protocol::kHbh:
+      return std::make_unique<mcast::hbh::HbhRouter>(timers_);
+    case Protocol::kReunite:
+      return std::make_unique<mcast::reunite::ReuniteRouter>(timers_);
+    case Protocol::kPimSm:
+    case Protocol::kPimSs:
+      return std::make_unique<mcast::pim::PimRouter>(timers_);
+  }
+  return std::make_unique<net::ProtocolAgent>();
+}
+
 void Session::install_agents(const SessionConfig& config) {
   const auto& timers = config.timers;
 
@@ -160,16 +174,13 @@ void Session::install_agents(const SessionConfig& config) {
 
   // Routers. Unicast-only routers keep the default forwarding agent —
   // that is the paper's "unicast clouds" deployment story.
-  const auto each_router = [&](auto&& make_agent) {
-    for (const NodeId router : scenario_.routers) {
-      if (is_unicast_only(router)) continue;
-      net_->attach(router, make_agent());
-    }
-  };
+  for (const NodeId router : scenario_.routers) {
+    if (is_unicast_only(router)) continue;
+    net_->attach(router, make_router_agent());
+  }
 
   switch (protocol_) {
     case Protocol::kHbh: {
-      each_router([&] { return std::make_unique<mcast::hbh::HbhRouter>(timers); });
       auto source =
           std::make_unique<mcast::hbh::HbhSource>(channel_, timers);
       auto* src = static_cast<mcast::hbh::HbhSource*>(
@@ -180,8 +191,6 @@ void Session::install_agents(const SessionConfig& config) {
       break;
     }
     case Protocol::kReunite: {
-      each_router(
-          [&] { return std::make_unique<mcast::reunite::ReuniteRouter>(timers); });
       auto source =
           std::make_unique<mcast::reunite::ReuniteSource>(channel_, timers);
       auto* src = static_cast<mcast::reunite::ReuniteSource*>(
@@ -193,7 +202,6 @@ void Session::install_agents(const SessionConfig& config) {
     }
     case Protocol::kPimSs:
     case Protocol::kPimSm: {
-      each_router([&] { return std::make_unique<mcast::pim::PimRouter>(timers); });
       Ipv4Addr rp_addr = kNoAddr;
       if (protocol_ == Protocol::kPimSm) {
         rp_ = mcast::pim::choose_rp_delay_aware(*routes_, scenario_.routers,
@@ -275,20 +283,108 @@ Measurement Session::measure(Time drain) {
   return m;
 }
 
+void Session::recompute_routes() {
+  routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
+  net_->rebind_routes(*routes_);
+}
+
 void Session::set_link_cost(NodeId a, NodeId b, double cost) {
   const auto ab = scenario_.topo.find_link(a, b);
   const auto ba = scenario_.topo.find_link(b, a);
   assert(ab.has_value() && ba.has_value());
   scenario_.topo.set_attrs(*ab, net::LinkAttrs{cost, cost});
   scenario_.topo.set_attrs(*ba, net::LinkAttrs{cost, cost});
-  routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
-  net_->rebind_routes(*routes_);
+  recompute_routes();
+}
+
+void Session::set_link_state(NodeId a, NodeId b, bool up) {
+  const auto ab = scenario_.topo.find_link(a, b);
+  const auto ba = scenario_.topo.find_link(b, a);
+  assert(ab.has_value() && ba.has_value());
+  scenario_.topo.set_link_up(*ab, up);
+  scenario_.topo.set_link_up(*ba, up);
+  recompute_routes();
+}
+
+void Session::set_link_down(NodeId a, NodeId b) { set_link_state(a, b, false); }
+
+void Session::set_link_up(NodeId a, NodeId b) { set_link_state(a, b, true); }
+
+bool Session::crashed(NodeId router) const {
+  for (const NodeId n : crashed_) {
+    if (n == router) return true;
+  }
+  return false;
+}
+
+void Session::crash_router(NodeId router) {
+  assert(router != scenario_.source_host);  // sources are not crashable
+  assert(!is_unicast_only(router));         // nothing to crash
+  if (crashed(router)) return;
+  // Carry the dying agent's contribution into the session-level totals
+  // before it is destroyed, so Figure-4-style counters stay monotone.
+  const net::ProtocolAgent& agent = net_->agent(router);
+  if (protocol_ == Protocol::kHbh) {
+    const auto& hbh = static_cast<const mcast::hbh::HbhRouter&>(agent);
+    retired_structural_changes_ += hbh.structural_changes();
+    retired_joins_intercepted_ += hbh.joins_intercepted();
+  } else if (protocol_ == Protocol::kReunite) {
+    retired_structural_changes_ +=
+        static_cast<const mcast::reunite::ReuniteRouter&>(agent)
+            .structural_changes();
+  }
+  // The default agent keeps unicast forwarding alive: this models a
+  // control-plane (protocol process) crash, not a powered-off node.
+  net_->attach(router, std::make_unique<net::ProtocolAgent>());
+  crashed_.push_back(router);
+}
+
+void Session::restart_router(NodeId router) {
+  for (auto it = crashed_.begin(); it != crashed_.end(); ++it) {
+    if (*it != router) continue;
+    crashed_.erase(it);
+    net::ProtocolAgent& agent = net_->attach(router, make_router_agent());
+    agent.start();  // fresh tables; soft state repopulates them
+    return;
+  }
+}
+
+void Session::impair_link(NodeId a, NodeId b,
+                          const net::Impairment& impairment) {
+  net_->set_duplex_impairment(a, b, impairment);
+}
+
+void Session::schedule_faults(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events()) {
+    sim_.schedule(ev.after, [this, ev] {
+      switch (ev.kind) {
+        case FaultEvent::Kind::kLinkDown:
+          set_link_down(ev.a, ev.b);
+          break;
+        case FaultEvent::Kind::kLinkUp:
+          set_link_up(ev.a, ev.b);
+          break;
+        case FaultEvent::Kind::kImpair:
+          impair_link(ev.a, ev.b, ev.impairment);
+          break;
+        case FaultEvent::Kind::kClearImpairments:
+          clear_impairments();
+          break;
+        case FaultEvent::Kind::kCrash:
+          crash_router(ev.a);
+          break;
+        case FaultEvent::Kind::kRestart:
+          restart_router(ev.a);
+          break;
+      }
+    });
+  }
 }
 
 std::uint64_t Session::total_structural_changes() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = retired_structural_changes_;
   for (const NodeId router : scenario_.routers) {
-    if (is_unicast_only(router)) continue;
+    if (is_unicast_only(router) || crashed(router)) continue;
     const net::ProtocolAgent& agent = net_->agent(router);
     if (protocol_ == Protocol::kHbh) {
       total += static_cast<const mcast::hbh::HbhRouter&>(agent)
@@ -306,9 +402,14 @@ mcast::ReceiverHost& Session::receiver(NodeId host) const {
 }
 
 Session::StateCensus Session::state_census() const {
+  // Time-aware: routers purge lazily (on the next message for the
+  // channel), so a census that counted raw table rows would report state
+  // that is already dead by its own timestamps — forever, once traffic
+  // stops. Count only entries that are still alive at `now`.
+  const Time now = sim_.now();
   StateCensus census;
   for (const NodeId router : scenario_.routers) {
-    if (is_unicast_only(router)) continue;
+    if (is_unicast_only(router) || crashed(router)) continue;
     const net::ProtocolAgent& agent = net_->agent(router);
     std::size_t control = 0;
     std::size_t forwarding = 0;
@@ -317,8 +418,8 @@ Session::StateCensus Session::state_census() const {
         const auto* st =
             static_cast<const mcast::hbh::HbhRouter&>(agent).state(channel_);
         if (st != nullptr) {
-          if (st->mct) control = 1;
-          if (st->mft) forwarding = st->mft->size();
+          if (st->mct && !st->mct->state.dead(now)) control = 1;
+          if (st->mft) forwarding = st->mft->live_targets(now).size();
         }
         break;
       }
@@ -326,8 +427,13 @@ Session::StateCensus Session::state_census() const {
         const auto* st = static_cast<const mcast::reunite::ReuniteRouter&>(agent)
                              .state(channel_);
         if (st != nullptr) {
-          if (st->mct) control = 1;
-          if (st->mft) forwarding = 1 + st->mft->entries.size();  // dst + rest
+          if (st->mct && !st->mct->state.dead(now)) control = 1;
+          if (st->mft) {
+            if (!st->mft->dst_state.dead(now)) forwarding += 1;
+            for (const auto& [target, entry] : st->mft->entries) {
+              if (!entry.dead(now)) ++forwarding;
+            }
+          }
         }
         break;
       }

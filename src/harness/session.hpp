@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/fault_plan.hpp"
 #include "mcast/common/membership.hpp"
 #include "metrics/net_stats.hpp"
 #include "metrics/probe.hpp"
@@ -106,8 +107,55 @@ class Session {
   /// multicast tree onto the new routes over the following periods.
   void set_link_cost(NodeId a, NodeId b, double cost);
 
-  /// Soft-fails the link (prohibitive cost; traffic routes around it).
-  void fail_link(NodeId a, NodeId b) { set_link_cost(a, b, 1e6); }
+  /// Takes the duplex link a-b administratively down: both directed edges
+  /// are excluded from route computation AND drop any in-flight
+  /// transmission attempt ("link-down"), then routing reconverges
+  /// instantly. The residual graph must stay connected between nodes that
+  /// still exchange traffic. Contrast with Impairment::down_windows, which
+  /// blackholes a link *without* the IGP noticing.
+  void set_link_down(NodeId a, NodeId b);
+
+  /// Repairs a link downed by set_link_down and reconverges routing.
+  void set_link_up(NodeId a, NodeId b);
+
+  /// Hard-fails the link (removed from routing; traffic routes around it).
+  void fail_link(NodeId a, NodeId b) { set_link_down(a, b); }
+
+  /// Crashes the protocol process on `router`: its agent — MFT/MCT/PIM
+  /// state, pacers, wave trackers, everything — is destroyed and replaced
+  /// by the default unicast forwarder. The data plane keeps routing
+  /// packets through the node (a control-plane crash, not a node
+  /// partition; combine with set_link_down for the latter). Structural
+  /// change and join-interception totals survive into the session-level
+  /// counters. No-op if already crashed. Routers only — not hosts.
+  void crash_router(NodeId router);
+
+  /// Reinstalls a fresh protocol agent on a crashed router and start()s
+  /// it. The router rebuilds its tables from the periodic control traffic
+  /// that flows through it — there is no state transfer. No-op unless
+  /// crashed.
+  void restart_router(NodeId router);
+
+  [[nodiscard]] bool crashed(NodeId router) const;
+
+  /// Applies a deterministic impairment (loss / duplication / reorder /
+  /// blackhole windows) to both directions of link a-b. See
+  /// net::ImpairmentPlane for the per-link RNG determinism contract.
+  void impair_link(NodeId a, NodeId b, const net::Impairment& impairment);
+
+  /// Lifts every impairment; the fabric is clean again.
+  void clear_impairments() { net_->clear_impairments(); }
+
+  /// Reseeds the impairment RNG streams (already-configured links get
+  /// their stream re-derived from the start). Two sessions given the same
+  /// seed, impairments, and workload replay identical fault sequences.
+  void seed_impairments(std::uint64_t seed) {
+    net_->impairments().reseed(seed);
+  }
+
+  /// Schedules every event of `plan` on the simulator, relative to now.
+  /// The same plan + the same impairment seed reproduces a run exactly.
+  void schedule_faults(const FaultPlan& plan);
 
   /// Router-state census for this session's channel — the paper's §2.1
   /// motivation: REUNITE/HBH keep *forwarding* state (MFT entries / PIM
@@ -148,10 +196,21 @@ class Session {
  private:
   void install_agents(const SessionConfig& config);
   [[nodiscard]] bool is_unicast_only(NodeId n) const;
+  /// A freshly constructed protocol router agent for this session's
+  /// protocol (shared by install_agents and restart_router).
+  [[nodiscard]] std::unique_ptr<net::ProtocolAgent> make_router_agent() const;
+  void set_link_state(NodeId a, NodeId b, bool up);
+  void recompute_routes();
 
   topo::Scenario scenario_;
   Protocol protocol_;
+  mcast::McastConfig timers_;
   std::vector<NodeId> unicast_only_;
+  std::vector<NodeId> crashed_;
+  /// Counters carried over from crashed agents so session-level totals
+  /// (Figure 4 stability, telemetry gauges) stay monotone across crashes.
+  std::uint64_t retired_structural_changes_ = 0;
+  std::uint64_t retired_joins_intercepted_ = 0;
   sim::Simulator sim_;
   std::unique_ptr<routing::UnicastRouting> routes_;
   std::unique_ptr<net::Network> net_;

@@ -107,7 +107,13 @@ void ReceiverHost::handle(Packet&& packet, NodeId from) {
     // connectivity — going "fresh" promptly is what re-anchors us.
     if (packet.type == PacketType::kTree && !packet.tree().marked) {
       const auto it = subs_.find(packet.channel);
-      if (it != subs_.end()) it->second.last_tree_at = simulator().now();
+      // A reordered straggler from an older refresh wave is not evidence
+      // that upstream state still exists *now*; accepting it would delay
+      // the fresh-join re-anchor after a failure.
+      if (it != subs_.end() && packet.tree().wave >= it->second.last_wave) {
+        it->second.last_tree_at = simulator().now();
+        it->second.last_wave = packet.tree().wave;
+      }
     }
     return;
   }

@@ -7,6 +7,7 @@
 // not change tree cost, §4.1).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -85,6 +86,8 @@ class ReceiverHost : public net::ProtocolAgent {
     std::unique_ptr<sim::PeriodicTimer> timer;
     bool first_sent = false;
     Time last_tree_at = -1;  ///< arrival time of the last tree(S, r); -1 = never
+    std::uint32_t last_wave = 0;  ///< highest refresh wave seen; stale
+                                  ///< stragglers must not fake connectivity
   };
 
   void send_refresh(const net::Channel& channel);

@@ -4,7 +4,7 @@ namespace hbh::mcast {
 
 std::string SoftEntry::state_string(Time now) const {
   std::string s = dead(now) ? "dead" : (stale(now) ? "stale" : "fresh");
-  if (marked_) s += "+marked";
+  if (marked(now)) s += "+marked";
   return s;
 }
 

@@ -54,15 +54,35 @@ class SoftEntry {
   [[nodiscard]] bool stale(Time now) const { return now >= t1_expiry_; }
   [[nodiscard]] bool dead(Time now) const { return now >= t2_expiry_; }
 
+  /// Marks are soft state too: a mark set by mark() decays t1 units after
+  /// its last refresh. The mark is asserted by the downstream branching
+  /// node Bp's periodic fusions; if Bp crashes (wiping its MFT) the fusions
+  /// stop, the mark decays, and data resumes flowing directly to the
+  /// receiver — without decay a dead Bp would starve it forever.
+  void mark(const McastConfig& cfg, Time now) {
+    marked_ = true;
+    mark_expiry_ = now + cfg.t1;
+  }
+  [[nodiscard]] bool marked(Time now) const noexcept {
+    return marked_ && now < mark_expiry_;
+  }
+
+  /// Raw flag accessors (no decay), for tests and the non-decaying case.
   [[nodiscard]] bool marked() const noexcept { return marked_; }
-  void set_marked(bool m) noexcept { marked_ = m; }
+  void set_marked(bool m) noexcept {
+    marked_ = m;
+    mark_expiry_ = kNeverExpires;
+  }
 
   /// Debug string: "fresh" / "stale" / "dead", with "+marked" suffix.
   [[nodiscard]] std::string state_string(Time now) const;
 
  private:
+  static constexpr Time kNeverExpires = 1e300;
+
   Time t1_expiry_ = 0;
   Time t2_expiry_ = 0;
+  Time mark_expiry_ = kNeverExpires;
   bool marked_ = false;
 };
 

@@ -13,10 +13,11 @@ void apply_fusion(Mft& mft, const net::FusionPayload& fusion,
                   const McastConfig& cfg, Time now) {
   // F2: mark every listed receiver we keep an entry for. Marked entries
   // keep receiving tree messages but no data — the fusion origin Bp takes
-  // over data duplication for them.
+  // over data duplication for them. The mark decays (t1) unless the next
+  // fusion re-asserts it, so a crashed Bp cannot starve its receivers.
   for (const Ipv4Addr r : fusion.receivers) {
     if (SoftEntry* entry = mft.find(r); entry != nullptr) {
-      entry->set_marked(true);
+      entry->mark(cfg, now);
     }
   }
   // F3/F4: ensure Bp is present. A fusion-created entry is born stale
@@ -132,6 +133,22 @@ void HbhRouter::on_tree(Packet&& packet) {
   const net::Channel ch = packet.channel;
   const net::TreePayload tree = packet.tree();
   purge(ch);
+
+  // Stale-straggler rejection: a reordered tree from an earlier refresh
+  // wave must not refresh, install, or re-anchor state that a newer wave
+  // has since rewritten (e.g. rule T7 flipping the MCT back to a receiver
+  // that already left). Stragglers still travel — dropping them would
+  // starve downstream routers of an in-transit refresh they may not have
+  // seen — but they are inert here.
+  auto [seen_it, first_seen] = seen_wave_.try_emplace(ch, tree.wave);
+  if (!first_seen) {
+    if (tree.wave < seen_it->second) {
+      if (packet.dst != self_addr()) forward(std::move(packet));
+      return;
+    }
+    seen_it->second = tree.wave;
+  }
+
   auto it = channels_.find(ch);
 
   // T1: a tree message addressed to this branching node is consumed and

@@ -86,6 +86,10 @@ class HbhRouter : public net::ProtocolAgent {
   std::unordered_map<net::Channel, TreePacer> pacers_;
   std::unordered_map<net::Channel, ReplicationGuard> guards_;
   std::unordered_map<net::Channel, std::uint32_t> last_wave_;
+  /// Highest refresh wave observed per channel; trees from older waves are
+  /// forwarded but never mutate state (stale-straggler rejection under
+  /// reordering — see docs/RESILIENCE.md).
+  std::unordered_map<net::Channel, std::uint32_t> seen_wave_;
   std::uint64_t structural_changes_ = 0;
   std::uint64_t joins_intercepted_ = 0;
 };

@@ -34,7 +34,7 @@ std::size_t Mft::purge(Time now) {
 std::vector<Ipv4Addr> Mft::data_targets(Time now) const {
   std::vector<Ipv4Addr> out;
   for (const auto& [target, entry] : entries_) {
-    if (!entry.dead(now) && !entry.marked()) out.push_back(target);
+    if (!entry.dead(now) && !entry.marked(now)) out.push_back(target);
   }
   return out;
 }

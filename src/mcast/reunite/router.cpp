@@ -128,6 +128,20 @@ void ReuniteRouter::on_tree(Packet&& packet) {
   const net::TreePayload tree = packet.tree();
   const Ipv4Addr r = tree.target;
   purge(ch);
+
+  // Stale-straggler rejection (mirrors HbhRouter::on_tree): a reordered
+  // tree from an earlier wave must not refresh a dst another wave already
+  // marked dying, re-create a torn-down MCT, or flip a stale MCT back to
+  // a departed receiver. It still travels toward its target unchanged.
+  auto [seen_it, first_seen] = seen_wave_.try_emplace(ch, tree.wave);
+  if (!first_seen) {
+    if (tree.wave < seen_it->second) {
+      forward(std::move(packet));
+      return;
+    }
+    seen_it->second = tree.wave;
+  }
+
   auto it = channels_.find(ch);
 
   if (it != channels_.end() && it->second.mft) {

@@ -66,6 +66,9 @@ class ReuniteRouter : public net::ProtocolAgent {
   std::unordered_map<net::Channel, TreePacer> pacers_;
   std::unordered_map<net::Channel, ReplicationGuard> guards_;
   std::unordered_map<net::Channel, std::uint32_t> last_wave_;
+  /// Highest refresh wave observed per channel; older trees are forwarded
+  /// but never mutate state (stale-straggler rejection under reordering).
+  std::unordered_map<net::Channel, std::uint32_t> seen_wave_;
   std::uint64_t structural_changes_ = 0;
 };
 

@@ -1,0 +1,88 @@
+#include "net/impairment.hpp"
+
+#include <cassert>
+
+namespace hbh::net {
+
+Rng ImpairmentPlane::derive_stream(LinkId link) const {
+  // SplitMix the (seed, link) pair into an independent stream; the odd
+  // multiplier decorrelates adjacent link ids.
+  std::uint64_t s = seed_ ^ (0x9E3779B97F4A7C15ull * (link.index() + 1));
+  return Rng(splitmix64(s));
+}
+
+void ImpairmentPlane::reseed(std::uint64_t seed) {
+  seed_ = seed;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].configured) {
+      links_[i].rng = derive_stream(LinkId{static_cast<std::uint32_t>(i)});
+    }
+  }
+}
+
+void ImpairmentPlane::set(LinkId link, const Impairment& impairment) {
+  assert(link.valid());
+  if (link.index() >= links_.size()) links_.resize(link.index() + 1);
+  LinkState& st = links_[link.index()];
+  if (st.config.active() && !impairment.active()) --active_links_;
+  if (!st.config.active() && impairment.active()) ++active_links_;
+  st.config = impairment;
+  if (!st.configured) {
+    st.rng = derive_stream(link);
+    st.configured = true;
+  }
+}
+
+void ImpairmentPlane::clear(LinkId link) {
+  if (!link.valid() || link.index() >= links_.size()) return;
+  LinkState& st = links_[link.index()];
+  if (st.config.active()) --active_links_;
+  st = LinkState();
+}
+
+void ImpairmentPlane::clear_all() {
+  links_.clear();
+  active_links_ = 0;
+}
+
+const Impairment* ImpairmentPlane::get(LinkId link) const {
+  if (!link.valid() || link.index() >= links_.size()) return nullptr;
+  const LinkState& st = links_[link.index()];
+  return st.config.active() ? &st.config : nullptr;
+}
+
+ImpairmentDecision ImpairmentPlane::decide(LinkId link, Time now) {
+  ImpairmentDecision d;
+  if (link.index() >= links_.size()) return d;
+  LinkState& st = links_[link.index()];
+  if (!st.config.active()) return d;
+
+  // Fixed consumption: five draws per transmission, used or not, so that
+  // changing one probability never shifts the stream under the others.
+  const double u_loss = st.rng.uniform01();
+  const double u_dup = st.rng.uniform01();
+  const double u_reorder = st.rng.uniform01();
+  const double u_jitter = st.rng.uniform01();
+  const double u_dup_jitter = st.rng.uniform01();
+
+  if (st.config.down_at(now)) {
+    d.link_down = true;
+    return d;
+  }
+  if (u_loss < st.config.loss) {
+    d.drop = true;
+    return d;
+  }
+  if (u_reorder < st.config.reorder) {
+    d.extra_delay = u_jitter * st.config.jitter;
+  }
+  if (u_dup < st.config.duplicate) {
+    d.duplicate = true;
+    // The duplicate gets its own jitter draw so the pair can arrive in
+    // either order — real duplication is rarely back-to-back.
+    d.dup_extra_delay = u_dup_jitter * st.config.jitter;
+  }
+  return d;
+}
+
+}  // namespace hbh::net

@@ -1,0 +1,109 @@
+// Deterministic per-link fault injection.
+//
+// The protocols' fault-tolerance story is soft state: join/tree/fusion
+// refreshes plus the t1/t2 timers are supposed to heal the tree after any
+// disruption. To test that claim the fabric can impair each directed link
+// independently: drop packets, duplicate them, delay them by a random
+// jitter (which reorders them relative to later transmissions), and
+// blackhole whole time windows (a flapping link the IGP has not noticed).
+//
+// Determinism contract (docs/RESILIENCE.md): every impaired link owns its
+// own RNG stream, derived from (plane seed, link id), and every decision
+// consumes a fixed number of draws. Consequences:
+//   * two runs with the same seed and the same impairment config produce
+//     byte-identical packet schedules;
+//   * impairing link A never perturbs link B's outcomes;
+//   * raising a probability (say loss 2% -> 5%) keeps all other decisions
+//     on the same link unchanged — paired trials stay paired.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace hbh::net {
+
+/// Per-directed-link impairment configuration. Default-constructed means
+/// "transparent link" (and costs nothing on the packet path).
+struct Impairment {
+  double loss = 0.0;       ///< P(drop) per transmission
+  double duplicate = 0.0;  ///< P(second copy) per surviving transmission
+  double reorder = 0.0;    ///< P(extra jitter delay) per surviving copy
+  Time jitter = 0.0;       ///< max extra delay for a reordered copy
+
+  /// Blackhole windows [down, up): transmissions inside any window are
+  /// dropped as link-down. Models link flaps the IGP never reacts to —
+  /// a *routing-visible* failure is Session::set_link_down instead.
+  std::vector<std::pair<Time, Time>> down_windows;
+
+  [[nodiscard]] bool active() const noexcept {
+    return loss > 0 || duplicate > 0 || reorder > 0 || !down_windows.empty();
+  }
+  [[nodiscard]] bool down_at(Time now) const noexcept {
+    for (const auto& [down, up] : down_windows) {
+      if (now >= down && now < up) return true;
+    }
+    return false;
+  }
+};
+
+/// What the fabric should do with one transmission on an impaired link.
+struct ImpairmentDecision {
+  bool link_down = false;   ///< inside a blackhole window: drop as link-down
+  bool drop = false;        ///< lost: drop as loss
+  bool duplicate = false;   ///< schedule a second copy
+  Time extra_delay = 0.0;   ///< jitter added to the original copy
+  Time dup_extra_delay = 0.0;  ///< jitter added to the duplicate copy
+};
+
+/// Holds every link's impairment config and RNG stream. Lives inside the
+/// Network; exposed separately so tests can pin the determinism contract
+/// without a fabric.
+class ImpairmentPlane {
+ public:
+  explicit ImpairmentPlane(std::uint64_t seed = kDefaultSeed) : seed_(seed) {}
+
+  /// Reseeds the plane. Existing per-link streams are re-derived, so call
+  /// this before configuring links (Session does).
+  void reseed(std::uint64_t seed);
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Sets (replaces) the impairment of one directed link. The link's RNG
+  /// stream is derived on first configuration and survives reconfiguration
+  /// — tightening a probability mid-run keeps the stream position.
+  void set(LinkId link, const Impairment& impairment);
+
+  /// Resets one link / every link to transparent (streams are discarded).
+  void clear(LinkId link);
+  void clear_all();
+
+  /// Null when the link is transparent.
+  [[nodiscard]] const Impairment* get(LinkId link) const;
+
+  [[nodiscard]] bool any_active() const noexcept { return active_links_ > 0; }
+
+  /// Decides the fate of one transmission at virtual time `now`,
+  /// consuming exactly five draws from the link's stream (fixed-count
+  /// consumption is what keeps paired trials comparable).
+  [[nodiscard]] ImpairmentDecision decide(LinkId link, Time now);
+
+  static constexpr std::uint64_t kDefaultSeed = 0xFA17ED11ull;
+
+ private:
+  struct LinkState {
+    Impairment config;
+    Rng rng;
+    bool configured = false;
+  };
+
+  [[nodiscard]] Rng derive_stream(LinkId link) const;
+
+  std::uint64_t seed_;
+  std::vector<LinkState> links_;  ///< indexed by LinkId; grown lazily
+  std::size_t active_links_ = 0;
+};
+
+}  // namespace hbh::net

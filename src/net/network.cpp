@@ -134,24 +134,71 @@ void Network::send_direct(NodeId from, NodeId neighbor, Packet packet) {
   transmit(*link, std::move(packet));
 }
 
+void Network::set_impairment(NodeId from, NodeId to,
+                             const Impairment& impairment) {
+  const auto link = topo_.find_link(from, to);
+  assert(link.has_value());
+  impairments_.set(*link, impairment);
+}
+
+void Network::set_duplex_impairment(NodeId a, NodeId b,
+                                    const Impairment& impairment) {
+  set_impairment(a, b, impairment);
+  set_impairment(b, a, impairment);
+}
+
 void Network::transmit(LinkId link, Packet packet) {
   const Topology::Edge& edge = topo_.edge(link);
-  ++counters_.transmissions;
-  if (packet.type == PacketType::kData) {
-    ++counters_.data_transmissions;
-  } else {
-    ++counters_.control_transmissions;
+  if (!edge.up) {
+    drop(edge.from, packet, "link-down");
+    return;
   }
-  if (tap_ != nullptr) tap_->on_transmit(edge, packet, sim_.now());
-  for (PacketTap* tap : taps_) tap->on_transmit(edge, packet, sim_.now());
-  log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to), " ",
-      packet.describe());
+
+  Time extra_delay = 0;
+  bool duplicate = false;
+  Time dup_extra_delay = 0;
+  if (impairments_.any_active()) {
+    const ImpairmentDecision d = impairments_.decide(link, sim_.now());
+    if (d.link_down) {
+      drop(edge.from, packet, "link-down");
+      return;
+    }
+    if (d.drop) {
+      drop(edge.from, packet, "loss");
+      return;
+    }
+    extra_delay = d.extra_delay;
+    duplicate = d.duplicate;
+    dup_extra_delay = d.dup_extra_delay;
+    if (extra_delay > 0 || (duplicate && dup_extra_delay > 0)) {
+      ++counters_.reordered;
+    }
+    if (duplicate) ++counters_.duplicates_injected;
+  }
+
+  // Each wire copy — the original and an injected duplicate — counts as a
+  // transmission and is observed by the taps, so tree-cost measurements
+  // honestly include duplicated traffic.
   const NodeId to = edge.to;
   const NodeId from = edge.from;
-  sim_.schedule(edge.attrs.delay,
-                [this, to, from, p = std::move(packet)]() mutable {
-                  deliver(to, from, std::move(p));
-                });
+  const auto send_copy = [&](const Packet& copy, Time added) {
+    ++counters_.transmissions;
+    if (copy.type == PacketType::kData) {
+      ++counters_.data_transmissions;
+    } else {
+      ++counters_.control_transmissions;
+    }
+    if (tap_ != nullptr) tap_->on_transmit(edge, copy, sim_.now());
+    for (PacketTap* tap : taps_) tap->on_transmit(edge, copy, sim_.now());
+    log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to), " ",
+        copy.describe());
+    sim_.schedule(edge.attrs.delay + added,
+                  [this, to, from, p = copy]() mutable {
+                    deliver(to, from, std::move(p));
+                  });
+  };
+  if (duplicate) send_copy(packet, dup_extra_delay);
+  send_copy(packet, extra_delay);
 }
 
 void Network::deliver(NodeId to, NodeId from, Packet packet) {
@@ -163,6 +210,10 @@ void Network::deliver(NodeId to, NodeId from, Packet packet) {
 void Network::drop(NodeId at, const Packet& packet, std::string_view reason) {
   if (reason == "ttl-expired") {
     ++counters_.drops_ttl;
+  } else if (reason == "link-down") {
+    ++counters_.drops_link_down;
+  } else if (reason == "loss") {
+    ++counters_.drops_loss;
   } else {
     ++counters_.drops_no_route;
   }

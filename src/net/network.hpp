@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/impairment.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
 #include "routing/unicast.hpp"
@@ -111,6 +112,10 @@ struct NetworkCounters {
   std::uint64_t control_transmissions = 0;
   std::uint64_t drops_ttl = 0;
   std::uint64_t drops_no_route = 0;
+  std::uint64_t drops_link_down = 0;   ///< down edge or blackhole window
+  std::uint64_t drops_loss = 0;        ///< impairment loss
+  std::uint64_t duplicates_injected = 0;  ///< impairment duplication
+  std::uint64_t reordered = 0;            ///< copies given extra jitter
   std::uint64_t local_sink = 0;  ///< packets consumed by the default agent
 };
 
@@ -173,6 +178,19 @@ class Network {
     routes_ = &routes;
   }
 
+  /// Per-link fault injection (docs/RESILIENCE.md). Impairments apply at
+  /// transmission time; unimpaired links pay one branch. The duplex helper
+  /// configures both directions (each keeps its own RNG stream).
+  void set_impairment(NodeId from, NodeId to, const Impairment& impairment);
+  void set_duplex_impairment(NodeId a, NodeId b, const Impairment& impairment);
+  void clear_impairments() { impairments_.clear_all(); }
+  [[nodiscard]] ImpairmentPlane& impairments() noexcept {
+    return impairments_;
+  }
+  [[nodiscard]] const ImpairmentPlane& impairments() const noexcept {
+    return impairments_;
+  }
+
  private:
   void transmit(LinkId link, Packet packet);
   /// Hands an arrived packet to the node's agent (counting the receive).
@@ -187,6 +205,7 @@ class Network {
   PacketTap* tap_ = nullptr;
   std::vector<PacketTap*> taps_;  ///< persistent observers (telemetry)
   NetworkCounters counters_;
+  ImpairmentPlane impairments_;
 };
 
 /// Computes the 10.x.y.1 address for a node index (stable scheme used by

@@ -34,6 +34,11 @@ void Topology::set_attrs(LinkId link, LinkAttrs attrs) {
   edges_[link.index()].attrs = attrs;
 }
 
+void Topology::set_link_up(LinkId link, bool up) {
+  assert(link.valid() && link.index() < edges_.size());
+  edges_[link.index()].up = up;
+}
+
 NodeKind Topology::kind(NodeId n) const {
   assert(contains(n));
   return kinds_[n.index()];
@@ -112,6 +117,7 @@ bool Topology::strongly_connected() const {
   std::vector<std::vector<std::uint32_t>> fwd(n);
   std::vector<std::vector<std::uint32_t>> rev(n);
   for (const Edge& e : edges_) {
+    if (!e.up) continue;
     fwd[e.from.index()].push_back(e.to.index());
     rev[e.to.index()].push_back(e.from.index());
   }

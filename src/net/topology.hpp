@@ -33,6 +33,7 @@ class Topology {
     NodeId from;
     NodeId to;
     LinkAttrs attrs;
+    bool up = true;  ///< a down edge forwards nothing and carries no routes
   };
 
   /// Adds a node of the given kind; returns its id (dense, starting at 0).
@@ -53,6 +54,13 @@ class Topology {
 
   /// Replaces the attributes of an existing edge.
   void set_attrs(LinkId link, LinkAttrs attrs);
+
+  /// Administratively raises/lowers an existing edge. Down edges stay in
+  /// the edge list (find_link still returns them) but are skipped by route
+  /// computation and refuse transmission — a hard failure, unlike a cost
+  /// inflation which Dijkstra can still traverse.
+  void set_link_up(LinkId link, bool up);
+  [[nodiscard]] bool link_up(LinkId link) const { return edge(link).up; }
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return kinds_.size();

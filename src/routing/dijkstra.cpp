@@ -54,6 +54,7 @@ SpfResult dijkstra(const net::Topology& topo, NodeId root,
 
     for (const LinkId l : topo.out_links(u)) {
       const auto& e = topo.edge(l);
+      if (!e.up) continue;  // down links carry no routes
       const double w = metric(e);
       assert(w > 0);
       const std::size_t v = e.to.index();
