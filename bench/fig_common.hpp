@@ -5,6 +5,8 @@
 // the paper plots. Environment knobs:
 //   HBH_TRIALS    — trials per sweep point (default 60; the paper uses 500)
 //   HBH_SEED      — base seed (default 20010827)
+//   HBH_JOBS      — worker threads for the trial grid (default: all cores;
+//                   1 = historical serial path; docs/PERFORMANCE.md)
 //   HBH_CSV       — set to 1 to also print machine-readable CSV
 //   HBH_REPORT    — write a JSON run report (hbh.run_report/v1) to this path
 //   HBH_LOG_LEVEL — trace|debug|info|warn|error
@@ -40,6 +42,8 @@ inline int run_figure(const char* figure, const char* paper_caption,
   init_log_level_from_env();
   const harness::ExperimentSpec spec = spec_from_env(topology);
   std::printf("=== %s — %s ===\n", figure, paper_caption);
+  // Deliberately no jobs= in the banner: stdout must be byte-identical
+  // across HBH_JOBS settings so CI can diff serial vs parallel runs.
   std::printf("topology=%s trials=%zu seed=%llu (paper: 500 trials)\n\n",
               std::string(to_string(topology)).c_str(), spec.trials,
               static_cast<unsigned long long>(spec.base_seed));

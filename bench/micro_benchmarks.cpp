@@ -32,6 +32,27 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
 
+// Soft-state workload shape: every protocol timer push is later cancelled
+// and re-armed (refresh), so cancel cost is as hot as push/pop cost.
+void BM_EventQueuePushCancelChurn(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng{2};
+  std::vector<sim::EventId> ids;
+  ids.reserve(batch);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    ids.clear();
+    for (std::size_t i = 0; i < batch; ++i) {
+      ids.push_back(q.push(rng.uniform(0, 1000), [] {}));
+    }
+    for (std::size_t i = 0; i < batch; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().when);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(batch) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueuePushCancelChurn)->Arg(1000)->Arg(10000);
+
 void BM_SimulatorTimerWheel(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -54,13 +75,36 @@ void BM_DijkstraIsp(benchmark::State& state) {
 }
 BENCHMARK(BM_DijkstraIsp);
 
+// The fault-path shape: repeated SPF recomputes of the same root. The
+// scratch + result buffers amortize all per-call allocation away.
+void BM_DijkstraIntoIsp(benchmark::State& state) {
+  auto scenario = topo::make_isp();
+  Rng rng{3};
+  topo::randomize_costs(scenario.topo, rng);
+  routing::SpfResult out;
+  routing::DijkstraScratch scratch;
+  const routing::MetricFn metric = routing::cost_metric();
+  for (auto _ : state) {
+    routing::dijkstra_into(scenario.topo, NodeId{0}, metric, out, scratch);
+    benchmark::DoNotOptimize(out.dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraIntoIsp);
+
 void BM_AllPairsRoutingRand50(benchmark::State& state) {
   Rng rng{5};
   auto scenario = topo::make_random50(rng);
   topo::randomize_costs(scenario.topo, rng);
+  const std::size_t n = scenario.topo.node_count();
   for (auto _ : state) {
     routing::UnicastRouting routes{scenario.topo};
-    benchmark::DoNotOptimize(routes.distance(NodeId{0}, NodeId{49}));
+    // SPFs are computed lazily per root; query every root so this still
+    // measures the full all-pairs build.
+    double acc = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      acc += routes.distance(NodeId{static_cast<std::uint32_t>(r)}, NodeId{49});
+    }
+    benchmark::DoNotOptimize(acc);
   }
 }
 BENCHMARK(BM_AllPairsRoutingRand50);

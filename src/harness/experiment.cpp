@@ -8,6 +8,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "harness/trial_pool.hpp"
 #include "metrics/report.hpp"
 #include "topo/isp.hpp"
 #include "topo/random.hpp"
@@ -139,14 +140,22 @@ Time run_to_quiescence(Session& session, Time quiet, Time horizon) {
   return horizon;
 }
 
-SweepResult run_sweep(const ExperimentSpec& spec, Protocol protocol) {
+namespace {
+
+/// Folds one protocol's [size][trial] grid slice into per-size cells.
+/// Always iterates in grid order, so the floating-point accumulation —
+/// and therefore every table, CSV, and run report derived from it — is
+/// bit-identical no matter which thread produced which trial, or when.
+SweepResult aggregate_sweep(const ExperimentSpec& spec, Protocol protocol,
+                            const TrialResult* grid) {
   SweepResult out;
   out.protocol = protocol;
-  for (const std::size_t size : spec.group_sizes) {
+  out.cells.reserve(spec.group_sizes.size());
+  for (std::size_t s = 0; s < spec.group_sizes.size(); ++s) {
     SweepCell cell;
-    cell.group_size = size;
+    cell.group_size = spec.group_sizes[s];
     for (std::size_t trial = 0; trial < spec.trials; ++trial) {
-      const TrialResult r = run_trial(spec, protocol, size, trial);
+      const TrialResult& r = grid[s * spec.trials + trial];
       cell.tree_cost.add(r.tree_cost);
       cell.mean_delay.add(r.mean_delay);
       if (!r.delivered) ++cell.delivery_failures;
@@ -156,11 +165,41 @@ SweepResult run_sweep(const ExperimentSpec& spec, Protocol protocol) {
   return out;
 }
 
-std::vector<SweepResult> run_all(const ExperimentSpec& spec) {
+}  // namespace
+
+SweepResult run_sweep(const ExperimentSpec& spec, Protocol protocol,
+                      std::size_t jobs) {
+  const std::size_t trials = spec.trials;
+  std::vector<TrialResult> grid(spec.group_sizes.size() * trials);
+  TrialPool pool{jobs};
+  pool.run(grid.size(), [&](std::size_t i) {
+    grid[i] =
+        run_trial(spec, protocol, spec.group_sizes[i / trials], i % trials);
+  });
+  return aggregate_sweep(spec, protocol, grid.data());
+}
+
+std::vector<SweepResult> run_all(const ExperimentSpec& spec,
+                                 std::size_t jobs) {
+  // One flat (protocol, group size, trial) grid behind a single pool:
+  // workers drain cells across protocol boundaries, so a slow protocol's
+  // tail overlaps the next protocol's trials instead of serializing.
+  const auto& protocols = all_protocols();
+  const std::size_t trials = spec.trials;
+  const std::size_t per_protocol = spec.group_sizes.size() * trials;
+  std::vector<TrialResult> grid(protocols.size() * per_protocol);
+  TrialPool pool{jobs};
+  pool.run(grid.size(), [&](std::size_t i) {
+    const Protocol protocol = protocols[i / per_protocol];
+    const std::size_t cell = i % per_protocol;
+    grid[i] = run_trial(spec, protocol, spec.group_sizes[cell / trials],
+                        cell % trials);
+  });
   std::vector<SweepResult> out;
-  out.reserve(all_protocols().size());
-  for (const Protocol p : all_protocols()) {
-    out.push_back(run_sweep(spec, p));
+  out.reserve(protocols.size());
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    out.push_back(
+        aggregate_sweep(spec, protocols[p], grid.data() + p * per_protocol));
   }
   return out;
 }

@@ -73,12 +73,19 @@ struct SweepResult {
   std::vector<SweepCell> cells;
 };
 
-/// Runs the full sweep for one protocol.
+/// Runs the full sweep for one protocol. `jobs` sizes the worker pool
+/// fanning the (group size, trial) grid out across threads: 0 resolves
+/// HBH_JOBS / hardware_concurrency (harness::TrialPool), 1 is the serial
+/// path. Results are bit-identical for every job count: each trial writes
+/// a pre-sized grid slot and aggregation runs in grid order.
 [[nodiscard]] SweepResult run_sweep(const ExperimentSpec& spec,
-                                    Protocol protocol);
+                                    Protocol protocol, std::size_t jobs = 0);
 
-/// Runs all four protocols.
-[[nodiscard]] std::vector<SweepResult> run_all(const ExperimentSpec& spec);
+/// Runs all four protocols, fanning the whole (protocol, group size,
+/// trial) cell grid across one worker pool (same determinism contract and
+/// `jobs` semantics as run_sweep).
+[[nodiscard]] std::vector<SweepResult> run_all(const ExperimentSpec& spec,
+                                               std::size_t jobs = 0);
 
 /// Renders the figure-style table: one row per group size, one column per
 /// protocol. `metric` selects tree cost ("cost") or delay ("delay").

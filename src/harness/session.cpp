@@ -284,8 +284,12 @@ Measurement Session::measure(Time drain) {
 }
 
 void Session::recompute_routes() {
-  routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
-  net_->rebind_routes(*routes_);
+  // Instantaneous IGP reconvergence: bump the routing epoch so every SPF
+  // recomputes lazily on its next query. Fault-heavy runs (FaultPlan,
+  // ablation_resilience) thus pay per queried root, not O(N·Dijkstra) per
+  // link-down/up/crash event. The Network keeps pointing at the same
+  // UnicastRouting instance, so no rebind is needed.
+  routes_->invalidate();
 }
 
 void Session::set_link_cost(NodeId a, NodeId b, double cost) {

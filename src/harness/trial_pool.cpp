@@ -1,0 +1,87 @@
+#include "harness/trial_pool.hpp"
+
+#include "util/env.hpp"
+
+namespace hbh::harness {
+
+std::size_t TrialPool::resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const std::int64_t env = env_int_or("HBH_JOBS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TrialPool::TrialPool(std::size_t jobs) : jobs_(resolve_jobs(jobs)) {
+  workers_.reserve(jobs_ - 1);
+  for (std::size_t w = 0; w + 1 < jobs_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::scoped_lock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TrialPool::run(std::size_t count, const Task& task) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // The serial path: no threads, no synchronization — byte-for-byte the
+    // behavior of the pre-parallel harness.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->count = count;
+  {
+    std::scoped_lock lock(mu_);
+    batch_ = batch;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  drain(*batch);  // the calling thread is the pool's J-th worker
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return batch->completed == batch->count; });
+  batch_.reset();
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void TrialPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || batch_seq_ != seen; });
+    if (shutdown_) return;
+    seen = batch_seq_;
+    // Hold a reference to *this* batch: if the batch finishes (and run()
+    // returns) before this worker even wakes, its cursor is spent and
+    // drain() claims nothing — a newer batch is untouchable from here.
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    if (batch) drain(*batch);
+    lock.lock();
+  }
+}
+
+void TrialPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    try {
+      (*batch.task)(i);
+    } catch (...) {
+      std::scoped_lock lock(mu_);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    std::scoped_lock lock(mu_);
+    if (++batch.completed == batch.count) done_cv_.notify_all();
+  }
+}
+
+}  // namespace hbh::harness

@@ -1,0 +1,81 @@
+// Fixed-size worker pool for the parallel experiment engine.
+//
+// Trials are seed-paired and fully independent — every (protocol, group
+// size, trial) cell owns its Session/Simulator/Network — so the sweep grid
+// is embarrassingly parallel. The pool fans task indices out across a
+// fixed set of worker threads via an atomic cursor; callers write each
+// result into a pre-sized slot indexed by the task, then aggregate in
+// index order, which makes every table, CSV, and run report bit-identical
+// regardless of completion order or job count (docs/PERFORMANCE.md).
+//
+// The job count comes from the constructor, the HBH_JOBS environment
+// variable, or std::thread::hardware_concurrency(), in that order.
+// HBH_JOBS=1 runs every task inline on the calling thread — exactly the
+// historical serial path, with no threads created at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbh::harness {
+
+class TrialPool {
+ public:
+  using Task = std::function<void(std::size_t)>;
+
+  /// `jobs` = 0 resolves via resolve_jobs(). A pool of J jobs owns J-1
+  /// worker threads; the calling thread works too during run().
+  explicit TrialPool(std::size_t jobs = 0);
+  ~TrialPool();
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// Executes task(i) for every i in [0, count) across the pool and
+  /// returns when all have finished. Indices are claimed dynamically, so
+  /// uneven task costs balance out. If any task throws, the first
+  /// exception is rethrown here after the batch drains (remaining tasks
+  /// still run). Not reentrant: one run() at a time per pool.
+  void run(std::size_t count, const Task& task);
+
+  /// Resolves the effective job count: `jobs` if nonzero, else HBH_JOBS
+  /// if set and positive, else hardware_concurrency (min 1).
+  [[nodiscard]] static std::size_t resolve_jobs(std::size_t jobs = 0);
+
+ private:
+  /// One batch of tasks. Workers hold a shared_ptr to the batch they woke
+  /// for, so a worker that wakes late can never claim indices — or touch
+  /// state — of a newer batch: its own batch's cursor is already spent.
+  struct Batch {
+    const Task* task = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};  ///< index dispenser
+    std::size_t completed = 0;         ///< guarded by the pool mutex
+    std::exception_ptr error;          ///< first failure (pool mutex)
+  };
+
+  void worker_loop();
+  /// Claims and runs task indices until the batch's cursor is exhausted.
+  void drain(Batch& batch);
+
+  const std::size_t jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals a new batch (or shutdown)
+  std::condition_variable done_cv_;  ///< signals batch completion
+  std::shared_ptr<Batch> batch_;     ///< current batch (pool mutex)
+  std::uint64_t batch_seq_ = 0;      ///< bumped per run(); workers wait on it
+  bool shutdown_ = false;
+};
+
+}  // namespace hbh::harness

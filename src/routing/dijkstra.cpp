@@ -1,7 +1,7 @@
 #include "routing/dijkstra.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <queue>
 
 namespace hbh::routing {
 
@@ -13,43 +13,40 @@ MetricFn delay_metric() {
   return [](const net::Topology::Edge& e) { return e.attrs.delay; };
 }
 
-SpfResult dijkstra(const net::Topology& topo, NodeId root,
-                   const MetricFn& metric) {
+void dijkstra_into(const net::Topology& topo, NodeId root,
+                   const MetricFn& metric, SpfResult& out,
+                   DijkstraScratch& scratch) {
   assert(topo.contains(root));
   const std::size_t n = topo.node_count();
 
-  SpfResult out;
+  // assign() reuses existing capacity: after the first call on a given
+  // SpfResult/scratch pair, a recompute performs no allocations.
   out.root = root;
   out.dist.assign(n, kUnreachable);
   out.parent.assign(n, kNoNode);
   out.first_hop.assign(n, kNoNode);
   out.delay.assign(n, std::numeric_limits<Time>::infinity());
+  scratch.settled.assign(n, 0);
 
-  struct QEntry {
-    double dist;
-    std::uint64_t order;  // settle-order tie-break for determinism
-    std::uint32_t node;
+  using QEntry = DijkstraScratch::QEntry;
+  const auto later = [](const QEntry& a, const QEntry& b) noexcept {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.order > b.order;
   };
-  struct Later {
-    bool operator()(const QEntry& a, const QEntry& b) const noexcept {
-      if (a.dist != b.dist) return a.dist > b.dist;
-      return a.order > b.order;
-    }
-  };
-
-  std::priority_queue<QEntry, std::vector<QEntry>, Later> frontier;
-  std::vector<bool> settled(n, false);
+  auto& frontier = scratch.frontier;
+  frontier.clear();
   std::uint64_t order = 0;
 
   out.dist[root.index()] = 0;
   out.delay[root.index()] = 0;
-  frontier.push(QEntry{0.0, order++, root.index()});
+  frontier.push_back(QEntry{0.0, order++, root.index()});
 
   while (!frontier.empty()) {
-    const QEntry top = frontier.top();
-    frontier.pop();
-    if (settled[top.node]) continue;
-    settled[top.node] = true;
+    std::pop_heap(frontier.begin(), frontier.end(), later);
+    const QEntry top = frontier.back();
+    frontier.pop_back();
+    if (scratch.settled[top.node] != 0) continue;
+    scratch.settled[top.node] = 1;
     const NodeId u{top.node};
 
     for (const LinkId l : topo.out_links(u)) {
@@ -64,10 +61,19 @@ SpfResult dijkstra(const net::Topology& topo, NodeId root,
         out.parent[v] = u;
         out.delay[v] = out.delay[top.node] + e.attrs.delay;
         out.first_hop[v] = (u == root) ? e.to : out.first_hop[top.node];
-        frontier.push(QEntry{candidate, order++, static_cast<std::uint32_t>(v)});
+        frontier.push_back(
+            QEntry{candidate, order++, static_cast<std::uint32_t>(v)});
+        std::push_heap(frontier.begin(), frontier.end(), later);
       }
     }
   }
+}
+
+SpfResult dijkstra(const net::Topology& topo, NodeId root,
+                   const MetricFn& metric) {
+  SpfResult out;
+  DijkstraScratch scratch;
+  dijkstra_into(topo, root, metric, out, scratch);
   return out;
 }
 

@@ -41,6 +41,27 @@ struct SpfResult {
   }
 };
 
+/// Reusable working memory for dijkstra_into(): the frontier heap storage
+/// and the settled flags. Keeping one scratch (and one SpfResult) alive
+/// across calls makes a recompute allocation-free once the buffers are
+/// warm — the fault path (Session::recompute_routes) re-runs SPFs on every
+/// link-down/up/crash event.
+struct DijkstraScratch {
+  struct QEntry {
+    double dist;
+    std::uint64_t order;  ///< settle-order tie-break for determinism
+    std::uint32_t node;
+  };
+  std::vector<QEntry> frontier;
+  std::vector<std::uint8_t> settled;
+};
+
+/// Runs Dijkstra from `root` into `out`, reusing the capacity of `out`'s
+/// vectors and `scratch`'s buffers. Results are identical to dijkstra().
+void dijkstra_into(const net::Topology& topo, NodeId root,
+                   const MetricFn& metric, SpfResult& out,
+                   DijkstraScratch& scratch);
+
 /// Runs Dijkstra from `root`. Deterministic: ties are broken by preferring
 /// the path found first under ascending (distance, settle-order) expansion,
 /// with neighbor scan order fixed by edge insertion order.

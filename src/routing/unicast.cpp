@@ -3,30 +3,40 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace hbh::routing {
 
 UnicastRouting::UnicastRouting(const net::Topology& topo, MetricFn metric)
-    : topo_(topo) {
-  per_root_.reserve(topo.node_count());
-  for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
-    per_root_.push_back(dijkstra(topo, NodeId{i}, metric));
+    : topo_(topo),
+      metric_(std::move(metric)),
+      per_root_(topo.node_count()),
+      computed_epoch_(topo.node_count(), 0) {}
+
+const SpfResult& UnicastRouting::ensure(NodeId root) const {
+  assert(topo_.contains(root));
+  std::uint64_t& stamp = computed_epoch_[root.index()];
+  if (stamp != epoch_) {
+    dijkstra_into(topo_, root, metric_, per_root_[root.index()], scratch_);
+    stamp = epoch_;
+    ++spf_runs_;
   }
+  return per_root_[root.index()];
 }
 
 NodeId UnicastRouting::next_hop(NodeId from, NodeId to) const {
   assert(topo_.contains(from) && topo_.contains(to));
-  return per_root_[from.index()].first_hop[to.index()];
+  return ensure(from).first_hop[to.index()];
 }
 
 double UnicastRouting::distance(NodeId from, NodeId to) const {
   assert(topo_.contains(from) && topo_.contains(to));
-  return per_root_[from.index()].dist[to.index()];
+  return ensure(from).dist[to.index()];
 }
 
 Time UnicastRouting::path_delay(NodeId from, NodeId to) const {
   assert(topo_.contains(from) && topo_.contains(to));
-  return per_root_[from.index()].delay[to.index()];
+  return ensure(from).delay[to.index()];
 }
 
 std::vector<NodeId> UnicastRouting::path(NodeId from, NodeId to) const {
@@ -38,7 +48,7 @@ std::vector<NodeId> UnicastRouting::path(NodeId from, NodeId to) const {
   }
   if (!reachable(from, to)) return nodes;  // empty: no route
   // Walk the parent chain of the SPF rooted at `from` back from `to`.
-  const SpfResult& tree = per_root_[from.index()];
+  const SpfResult& tree = ensure(from);
   for (NodeId at = to; at.valid(); at = tree.parent[at.index()]) {
     nodes.push_back(at);
   }
@@ -49,7 +59,7 @@ std::vector<NodeId> UnicastRouting::path(NodeId from, NodeId to) const {
 
 const SpfResult& UnicastRouting::spf(NodeId root) const {
   assert(topo_.contains(root));
-  return per_root_[root.index()];
+  return ensure(root);
 }
 
 AsymmetryReport measure_asymmetry(const UnicastRouting& routes) {
@@ -62,10 +72,24 @@ AsymmetryReport measure_asymmetry(const UnicastRouting& routes) {
       const NodeId nb{b};
       if (!routes.reachable(na, nb) || !routes.reachable(nb, na)) continue;
       ++report.ordered_pairs;
-      auto forward = routes.path(na, nb);
-      auto backward = routes.path(nb, na);
-      std::reverse(backward.begin(), backward.end());
-      if (forward != backward) ++report.asymmetric_pairs;
+      // path(a,b) equals reverse(path(b,a)) iff the two parent chains
+      // mirror each other: walking b -> a through a's tree, every hop
+      // u -> p (p = parent_a(u)) must satisfy parent_b(p) == u. The chain
+      // of matches forces b's tree to thread the exact reversed sequence,
+      // so no path vectors need materializing (the old implementation
+      // allocated two per ordered pair — O(n²·pathlen) allocations).
+      const SpfResult& tree_a = routes.spf(na);
+      const SpfResult& tree_b = routes.spf(nb);
+      bool symmetric = true;
+      for (NodeId u = nb; u != na;) {
+        const NodeId p = tree_a.parent[u.index()];
+        if (tree_b.parent[p.index()] != u) {
+          symmetric = false;
+          break;
+        }
+        u = p;
+      }
+      if (!symmetric) ++report.asymmetric_pairs;
       report.max_cost_skew =
           std::max(report.max_cost_skew,
                    std::abs(routes.distance(na, nb) - routes.distance(nb, na)));

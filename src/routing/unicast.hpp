@@ -6,8 +6,22 @@
 // destination-based and hop-by-hop consistent (the next hop's route to the
 // destination is the suffix of ours), so recursive-unicast forwarding
 // behaves exactly as it would on real routers.
+//
+// SPFs are computed lazily per root: construction is O(1), and a root's
+// tree is built on its first query (then cached). A topology change —
+// link cost, link up/down — is signalled with invalidate(), which bumps
+// the topology epoch; each root recomputes, into reused buffers, on its
+// first query after the bump. Fault-heavy runs thus pay one Dijkstra per
+// *queried* root per epoch instead of N up-front, and trials that touch
+// only part of the topology never compute the rest.
+//
+// Like the rest of the simulation substrate, an instance is confined to
+// one thread (the parallel experiment engine gives each trial its own
+// Session and therefore its own UnicastRouting); the lazy cache mutates
+// under const accessors and is not synchronized.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -18,7 +32,8 @@ namespace hbh::routing {
 
 class UnicastRouting {
  public:
-  /// Computes routes for the whole topology under `metric`.
+  /// Prepares routing for the whole topology under `metric`. SPFs are
+  /// computed on first use per root.
   explicit UnicastRouting(const net::Topology& topo,
                           MetricFn metric = cost_metric());
 
@@ -43,12 +58,38 @@ class UnicastRouting {
     return topo_;
   }
 
-  /// The shortest-path tree rooted at `root` (routes root -> *).
+  /// The shortest-path tree rooted at `root` (routes root -> *). The
+  /// reference is invalidated by invalidate() followed by a query.
   [[nodiscard]] const SpfResult& spf(NodeId root) const;
 
+  /// Marks every cached SPF stale after a topology change (cost edit,
+  /// link up/down). Roots recompute lazily on their next query — the
+  /// instantaneous-IGP-reconvergence model of Session::recompute_routes
+  /// without the O(N·Dijkstra) up-front cost per fault event.
+  void invalidate() noexcept { ++epoch_; }
+
+  /// Bumped by every invalidate(); diagnostic for tests and telemetry.
+  [[nodiscard]] std::uint64_t topology_epoch() const noexcept {
+    return epoch_;
+  }
+
+  /// Total Dijkstra runs so far — observability into the lazy cache.
+  [[nodiscard]] std::uint64_t spf_computations() const noexcept {
+    return spf_runs_;
+  }
+
  private:
+  /// Returns the up-to-date SPF for `root`, recomputing if stale.
+  const SpfResult& ensure(NodeId root) const;
+
   const net::Topology& topo_;
-  std::vector<SpfResult> per_root_;
+  MetricFn metric_;
+  std::uint64_t epoch_ = 1;
+  // Lazy per-root cache; mutable because queries are logically const.
+  mutable std::vector<SpfResult> per_root_;
+  mutable std::vector<std::uint64_t> computed_epoch_;  ///< 0 = never built
+  mutable DijkstraScratch scratch_;
+  mutable std::uint64_t spf_runs_ = 0;
 };
 
 /// Summary of how asymmetric a topology's routing is.

@@ -3,15 +3,22 @@
 // Events fire in (time, sequence) order: two events scheduled for the same
 // instant execute in the order they were scheduled. That FIFO tie-break is
 // what makes every simulation in this repo bit-for-bit reproducible.
-// Cancellation is O(1) via tombstoning — cancelled events stay in the heap
-// and are skipped on pop, which is far cheaper than heap removal for the
-// soft-state timer churn the multicast protocols generate.
+// Cancellation is O(1) via generation-stamped handles: an EventId packs a
+// liveness slot index and the slot's generation at push time, and firing or
+// cancelling bumps the generation, so stale heap entries (and stale ids)
+// are recognized by a single array compare. Cancelled events stay in the
+// heap and are skipped on pop — far cheaper than heap removal for the
+// soft-state timer churn the multicast protocols generate, and unlike the
+// hash-set tombstone scheme this replaces, push/cancel never allocate once
+// the slot pool is warm. Callbacks live in the slot pool rather than the
+// heap, so heap maintenance shuffles small PODs and a cancelled event's
+// captured state is released at cancel time, not when the tombstone
+// finally surfaces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/ids.hpp"
@@ -19,6 +26,7 @@
 namespace hbh::sim {
 
 /// Opaque handle identifying a scheduled event (for cancellation).
+/// Packs (slot + 1, generation); 0 is the invalid id.
 struct EventId {
   std::uint64_t v = 0;
   [[nodiscard]] constexpr bool valid() const noexcept { return v != 0; }
@@ -37,8 +45,8 @@ class EventQueue {
   /// already cancelled, or never existed.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Time of the earliest pending event; undefined when empty().
   [[nodiscard]] Time next_time() const;
@@ -50,14 +58,19 @@ class EventQueue {
   };
   Fired pop();
 
-  /// Drops all pending events.
+  /// Drops all pending events. Ids issued before the clear are dead: they
+  /// can never cancel an event pushed afterwards.
   void clear();
 
  private:
+  /// Heap entries are 24-byte trivially-copyable PODs: the callback lives
+  /// in the entry's slot, not the heap, so sift-up/down moves are plain
+  /// memcpys instead of std::function move/destroy calls.
   struct Entry {
     Time when;
-    std::uint64_t seq;
-    Callback fn;
+    std::uint64_t seq;   ///< global schedule order (same-time FIFO)
+    std::uint32_t slot;  ///< slot backing this entry (liveness + callback)
+    std::uint32_t gen;   ///< slot generation at push time
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -65,13 +78,28 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::uint32_t gen = 0;  ///< bumped on fire/cancel/clear
+    Callback fn;
+  };
+
+  /// True when the entry was cancelled or already fired (its slot moved on).
+  [[nodiscard]] bool dead(const Entry& e) const noexcept {
+    return slots_[e.slot].gen != e.gen;
+  }
+
+  /// Invalidates every outstanding reference to `slot` and recycles it.
+  /// The slot's callback must already be released/moved out.
+  void retire_slot(std::uint32_t slot);
 
   /// Discards cancelled entries at the top of the heap.
   void skip_dead();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // live (un-fired, un-cancelled)
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;  ///< slots available for reuse
   std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;  ///< pending (un-fired, un-cancelled) events
 };
 
 }  // namespace hbh::sim

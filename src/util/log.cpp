@@ -1,10 +1,12 @@
 #include "util/log.hpp"
 
-#include <iostream>
+#include <cstdio>
 
 #include "util/env.hpp"
 
 namespace hbh {
+
+thread_local Logger::TimeSource Logger::time_source_;
 
 std::string_view to_string(LogLevel level) noexcept {
   switch (level) {
@@ -30,13 +32,22 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
-  if (sink) {
-    sink_ = std::move(sink);
-  } else {
-    sink_ = [](LogLevel level, std::string_view message) {
-      std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  if (!sink) {
+    // Compose the full line first and emit it with a single buffered
+    // write: concurrent trial workers never interleave fragments.
+    sink = [](LogLevel level, std::string_view message) {
+      std::string line;
+      line.reserve(message.size() + 10);
+      line += '[';
+      line += to_string(level);
+      line += "] ";
+      line += message;
+      line += '\n';
+      std::fwrite(line.data(), 1, line.size(), stderr);
     };
   }
+  std::scoped_lock lock(sink_mu_);
+  sink_ = std::move(sink);
 }
 
 Logger::TimeSource Logger::set_time_source(TimeSource source) {
@@ -46,12 +57,14 @@ Logger::TimeSource Logger::set_time_source(TimeSource source) {
 }
 
 void Logger::write(LogLevel level, std::string_view message) {
+  std::string stamped;
   if (time_source_) {
-    std::ostringstream stamped;
-    stamped << "[t=" << time_source_() << "] " << message;
-    sink_(level, stamped.str());
-    return;
+    std::ostringstream out;
+    out << "[t=" << time_source_() << "] " << message;
+    stamped = out.str();
+    message = stamped;
   }
+  std::scoped_lock lock(sink_mu_);
   sink_(level, message);
 }
 

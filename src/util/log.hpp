@@ -4,9 +4,19 @@
 // r1,r3) -> H1") that unit tests assert on and examples print. Logging is a
 // process-wide singleton with a swappable sink so tests can capture output
 // without touching stderr.
+//
+// Thread safety: the parallel experiment engine (harness::TrialPool) runs
+// one simulation per worker thread, and every simulation shares this
+// singleton. The level is atomic (so the enabled() fast path stays a
+// single relaxed load), the sink is swapped and invoked under a mutex with
+// one buffered write per line (no interleaved fragments), and the virtual
+// time source is thread-local — each worker's simulator stamps only its
+// own thread's lines.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -19,9 +29,7 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 }
 
 [[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
 
-/// Process-wide logger. Not thread-safe by design: the simulator is single
-/// threaded and the harness runs one simulation per thread-local logger-free
-/// path (benches never log below kWarn).
+/// Process-wide logger; safe to use from concurrent trial workers.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
@@ -29,33 +37,40 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the sink; pass nullptr to restore the default stderr sink.
   void set_sink(Sink sink);
 
-  /// While a time source is set (a simulator is active), every line is
-  /// prefixed with the current virtual time: "[t=12.5] ...". Pass nullptr
-  /// to clear. Returns the previous source so scopes can nest.
+  /// While a time source is set (a simulator is active on this thread),
+  /// every line the thread logs is prefixed with the current virtual time:
+  /// "[t=12.5] ...". Pass nullptr to clear. Returns the previous source so
+  /// scopes can nest. Per-thread: parallel trials don't see each other's
+  /// clocks.
   TimeSource set_time_source(TimeSource source);
 
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return level >= level_;
+    return level >= this->level();
   }
 
   void write(LogLevel level, std::string_view message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex sink_mu_;  ///< guards sink_ swap and every sink invocation
   Sink sink_;
-  TimeSource time_source_;
+  static thread_local TimeSource time_source_;
 };
 
 /// RAII: exposes a virtual clock to the logger while in scope (installed
 /// by sim::Simulator::run so traces carry "[t=...]" prefixes that line up
-/// with sampler timestamps).
+/// with sampler timestamps). Thread-local, like the time source itself.
 class ScopedLogTime {
  public:
   explicit ScopedLogTime(Logger::TimeSource source)

@@ -68,6 +68,36 @@ TEST(ExperimentTest, SweepAggregatesTrials) {
   EXPECT_EQ(sweep.cells[0].delivery_failures, 0u);
 }
 
+TEST(ExperimentTest, ParallelRunAllIsBitIdenticalToSerial) {
+  // The determinism-under-parallelism contract (docs/PERFORMANCE.md):
+  // results land in pre-sized grid slots and aggregate in grid order, so
+  // every rendered artifact is byte-identical for any job count.
+  ExperimentSpec spec = tiny_spec();
+  spec.group_sizes = {2, 4};
+  const auto serial = run_all(spec, /*jobs=*/1);
+  const auto parallel = run_all(spec, /*jobs=*/4);
+  EXPECT_EQ(format_table(serial, "cost", /*with_ci=*/true),
+            format_table(parallel, "cost", /*with_ci=*/true));
+  EXPECT_EQ(format_table(serial, "delay", /*with_ci=*/true),
+            format_table(parallel, "delay", /*with_ci=*/true));
+  EXPECT_EQ(format_csv(serial), format_csv(parallel));
+}
+
+TEST(ExperimentTest, ParallelSweepMatchesSerialSweep) {
+  const ExperimentSpec spec = tiny_spec();
+  const SweepResult serial = run_sweep(spec, Protocol::kHbh, /*jobs=*/1);
+  const SweepResult parallel = run_sweep(spec, Protocol::kHbh, /*jobs=*/3);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+    EXPECT_EQ(serial.cells[c].tree_cost.mean(),
+              parallel.cells[c].tree_cost.mean());
+    EXPECT_EQ(serial.cells[c].mean_delay.mean(),
+              parallel.cells[c].mean_delay.mean());
+    EXPECT_EQ(serial.cells[c].delivery_failures,
+              parallel.cells[c].delivery_failures);
+  }
+}
+
 TEST(ExperimentTest, TableFormatContainsAllProtocolsAndSizes) {
   ExperimentSpec spec = tiny_spec();
   spec.trials = 1;

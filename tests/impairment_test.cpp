@@ -199,6 +199,9 @@ TEST(NetworkImpairmentTest, ReorderDelaysTheCopy) {
 
 TEST(NetworkImpairmentTest, DownEdgeRefusesTransmission) {
   NetFixture f;
+  // Materialize the route while the link is up (routing computes SPFs
+  // lazily); without an invalidate() it stays stale after the edge drops.
+  ASSERT_EQ(f.routes->next_hop(NodeId{0}, NodeId{1}), NodeId{1});
   const auto link = f.topo.find_link(NodeId{0}, NodeId{1});
   ASSERT_TRUE(link.has_value());
   f.topo.set_link_up(*link, false);

@@ -2,6 +2,8 @@
 // asymmetry analysis used throughout the paper reproduction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/topology.hpp"
 #include "routing/dijkstra.hpp"
 #include "routing/unicast.hpp"
@@ -176,6 +178,38 @@ TEST(UnicastRoutingTest, HopByHopConsistency) {
   }
 }
 
+TEST(UnicastRoutingTest, SpfComputationIsLazyPerRoot) {
+  const Topology t = diamond();
+  const UnicastRouting routes{t};
+  EXPECT_EQ(routes.spf_computations(), 0u);  // construction runs no SPF
+  (void)routes.distance(NodeId{0}, NodeId{3});
+  EXPECT_EQ(routes.spf_computations(), 1u);  // first query builds root 0
+  (void)routes.path(NodeId{0}, NodeId{2});
+  EXPECT_EQ(routes.spf_computations(), 1u);  // same root: cached
+  (void)routes.next_hop(NodeId{1}, NodeId{3});
+  EXPECT_EQ(routes.spf_computations(), 2u);  // new root
+}
+
+TEST(UnicastRoutingTest, InvalidateRecomputesOnlyQueriedRoots) {
+  Topology t = diamond();
+  UnicastRouting routes{t};
+  EXPECT_DOUBLE_EQ(routes.distance(NodeId{0}, NodeId{3}), 2.0);  // via 1
+  const std::uint64_t before = routes.topology_epoch();
+
+  // Take the cheap 0->1 edge down; stale routes persist until invalidate.
+  const auto link = t.find_link(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(link.has_value());
+  t.set_link_up(*link, false);
+  EXPECT_DOUBLE_EQ(routes.distance(NodeId{0}, NodeId{3}), 2.0);  // stale
+
+  routes.invalidate();
+  EXPECT_GT(routes.topology_epoch(), before);
+  EXPECT_DOUBLE_EQ(routes.distance(NodeId{0}, NodeId{3}), 6.0);  // via 2
+  // Only root 0 was re-queried, so only root 0 recomputed: 1 (initial)
+  // + 1 (post-invalidate) SPFs for root 0, none for any other root.
+  EXPECT_EQ(routes.spf_computations(), 2u);
+}
+
 TEST(AsymmetryTest, SymmetricTopologyHasNoAsymmetry) {
   const Topology t = diamond();
   const UnicastRouting routes{t};
@@ -196,6 +230,38 @@ TEST(AsymmetryTest, DetectsAsymmetricPairs) {
   EXPECT_GT(report.asymmetric_pairs, 0u);
   EXPECT_EQ(report.ordered_pairs, 6u);
   EXPECT_GT(report.max_cost_skew, 0.0);
+}
+
+TEST(AsymmetryTest, ParentChainCheckMatchesPathOracle) {
+  // measure_asymmetry compares parent chains in place; its verdict per
+  // ordered pair must equal the definitional path-vector comparison.
+  Topology t;
+  for (int i = 0; i < 5; ++i) t.add_node();
+  t.add_duplex(NodeId{0}, NodeId{1}, LinkAttrs{1, 1}, LinkAttrs{10, 10});
+  t.add_duplex(NodeId{1}, NodeId{2}, LinkAttrs{2, 2});
+  t.add_duplex(NodeId{2}, NodeId{0}, LinkAttrs{2, 2});
+  t.add_duplex(NodeId{2}, NodeId{3}, LinkAttrs{1, 1}, LinkAttrs{7, 7});
+  t.add_duplex(NodeId{3}, NodeId{4}, LinkAttrs{1, 1});
+  t.add_duplex(NodeId{4}, NodeId{0}, LinkAttrs{3, 3}, LinkAttrs{1, 1});
+  const UnicastRouting routes{t};
+
+  std::size_t oracle_asymmetric = 0;
+  std::size_t oracle_pairs = 0;
+  for (std::uint32_t a = 0; a < t.node_count(); ++a) {
+    for (std::uint32_t b = a + 1; b < t.node_count(); ++b) {
+      auto fwd = routes.path(NodeId{a}, NodeId{b});
+      auto back = routes.path(NodeId{b}, NodeId{a});
+      if (fwd.empty() || back.empty()) continue;
+      oracle_pairs += 2;
+      std::reverse(back.begin(), back.end());
+      if (fwd != back) oracle_asymmetric += 2;
+    }
+  }
+
+  const auto report = measure_asymmetry(routes);
+  EXPECT_EQ(report.ordered_pairs, oracle_pairs);
+  EXPECT_EQ(report.asymmetric_pairs, oracle_asymmetric);
+  EXPECT_GT(report.asymmetric_pairs, 0u);
 }
 
 }  // namespace

@@ -85,6 +85,46 @@ TEST(EventQueueTest, ClearDrainsEverything) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(EventQueueTest, StaleIdCannotCancelReusedSlot) {
+  // Ids are generation-stamped: once an event fires, its slot may be
+  // reused by a later push, but the old id must not cancel the newcomer.
+  EventQueue q;
+  const EventId stale = q.push(1.0, [] {});
+  q.pop().fn();  // fires; the slot returns to the free list
+  bool fired = false;
+  const EventId fresh = q.push(2.0, [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(stale));  // stale generation: rejected
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(fresh));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  const EventId before = q.push(1.0, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(before));
+  // A post-clear push may land in the same slot; the old id stays dead.
+  const EventId after = q.push(3.0, [] {});
+  EXPECT_FALSE(q.cancel(before));
+  EXPECT_TRUE(q.cancel(after));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, FifoOrderSurvivesCancelChurn) {
+  // Cancelling interleaved events must not disturb the documented
+  // (time, push-order) total order of the survivors.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(q.push(5.0, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 12; i += 3) q.cancel(ids[static_cast<size_t>(i)]);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 5, 7, 8, 10, 11}));
+}
+
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
   Simulator sim;
   std::vector<Time> stamps;

@@ -1,0 +1,76 @@
+// Tests for the parallel trial-execution pool: exact-once index dispatch,
+// serial-path equivalence, exception propagation, and job resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/trial_pool.hpp"
+
+namespace hbh::harness {
+namespace {
+
+TEST(TrialPoolTest, RunsEveryIndexExactlyOnce) {
+  TrialPool pool{4};
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TrialPoolTest, SerialPoolRunsInlineInOrder) {
+  TrialPool pool{1};
+  std::vector<std::size_t> order;
+  pool.run(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TrialPoolTest, PoolIsReusableAcrossBatches) {
+  TrialPool pool{3};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<std::size_t> sum{0};
+    pool.run(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u) << "batch " << batch;
+  }
+}
+
+TEST(TrialPoolTest, EmptyBatchIsANoOp) {
+  TrialPool pool{2};
+  pool.run(0, [](std::size_t) { FAIL() << "task ran for count=0"; });
+}
+
+TEST(TrialPoolTest, FirstExceptionPropagatesAfterDrain) {
+  TrialPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.run(hits.size(),
+                        [&](std::size_t i) {
+                          ++hits[i];
+                          if (i == 7) throw std::runtime_error{"trial 7"};
+                        }),
+               std::runtime_error);
+  // The batch still drained: every index ran despite the failure.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // And the pool survives for the next batch.
+  std::atomic<int> ran{0};
+  pool.run(8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TrialPoolTest, ResolveJobsPrefersExplicitThenEnvThenHardware) {
+  EXPECT_EQ(TrialPool::resolve_jobs(3), 3u);
+  ::setenv("HBH_JOBS", "2", 1);
+  EXPECT_EQ(TrialPool::resolve_jobs(5), 5u);  // explicit beats env
+  EXPECT_EQ(TrialPool::resolve_jobs(0), 2u);  // env beats hardware
+  ::unsetenv("HBH_JOBS");
+  EXPECT_GE(TrialPool::resolve_jobs(0), 1u);  // hardware floor
+}
+
+}  // namespace
+}  // namespace hbh::harness
