@@ -18,7 +18,7 @@ using harness::Session;
 int main() {
   init_log_level_from_env();
   const auto trials =
-      static_cast<std::size_t>(env_int_or("HBH_TRIALS", 25));
+      env_trials(25);
   std::printf("=== Ablation: control-plane convergence time (ISP) ===\n");
   std::printf("trials=%zu; receivers join 1/time-unit, then we wait for "
               "state quiescence\n\n",

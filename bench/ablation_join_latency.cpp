@@ -34,7 +34,7 @@ double measure_join_latency(Session& session, NodeId newcomer) {
 int main() {
   init_log_level_from_env();
   const auto trials =
-      static_cast<std::size_t>(env_int_or("HBH_TRIALS", 30));
+      env_trials(30);
   std::printf("=== Ablation: join latency of a late receiver (ISP) ===\n");
   std::printf("trials=%zu, 8 receivers converged, 9th joins late\n\n",
               trials);

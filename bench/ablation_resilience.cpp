@@ -49,9 +49,8 @@ std::vector<std::pair<NodeId, NodeId>> backbone_links(
 
 int main() {
   init_log_level_from_env();
-  const auto trials = static_cast<std::size_t>(env_int_or("HBH_TRIALS", 6));
-  const auto base_seed =
-      static_cast<std::uint64_t>(env_int_or("HBH_SEED", 20010827));
+  const std::size_t trials = env_trials(6);
+  const std::uint64_t base_seed = env_seed();
   constexpr std::size_t kGroup = 8;    // receivers
   constexpr std::size_t kProbes = 8;   // probes sent while impaired
   constexpr Time kWarmup = 160;        // > 2*t2: tree fully converged

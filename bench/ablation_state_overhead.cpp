@@ -20,7 +20,7 @@ using harness::Session;
 int main() {
   init_log_level_from_env();
   const auto trials =
-      static_cast<std::size_t>(env_int_or("HBH_TRIALS", 30));
+      env_trials(30);
   std::printf("=== Ablation: router state & control overhead (ISP) ===\n");
   std::printf("trials=%zu, converged at t=400, overhead window 100 tu\n\n",
               trials);

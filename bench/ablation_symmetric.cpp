@@ -41,7 +41,7 @@ int main() {
               100.0 * max_gap);
   if (harness::maybe_write_report_from_env(spec, results,
                                            "ablation_symmetric")) {
-    std::printf("report: %s\n", env_str_or("HBH_REPORT", "").c_str());
+    std::printf("report: %s\n", env_report_path().c_str());
   }
   return 0;
 }

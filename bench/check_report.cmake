@@ -2,8 +2,11 @@
 # carries the report's load-bearing sections. Invoked by the
 # bench_report_e2e ctest case (see bench/CMakeLists.txt); expects -DBENCH
 # (binary path) and -DOUT (report path).
+# Optional -DEXTRA_ENV=VAR=value adds one more environment setting (the
+# state-scaling check caps its channel sweep this way).
 execute_process(
-  COMMAND ${CMAKE_COMMAND} -E env HBH_TRIALS=2 "HBH_REPORT=${OUT}" ${BENCH}
+  COMMAND ${CMAKE_COMMAND} -E env HBH_TRIALS=2 "HBH_REPORT=${OUT}" ${EXTRA_ENV}
+    ${BENCH}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE bench_stdout
   ERROR_VARIABLE bench_stderr)

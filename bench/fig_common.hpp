@@ -2,14 +2,9 @@
 //
 // Each fig*_ binary reproduces one figure of the paper's §4.2: it runs the
 // four protocols over the figure's group-size sweep and prints the series
-// the paper plots. Environment knobs:
-//   HBH_TRIALS    — trials per sweep point (default 60; the paper uses 500)
-//   HBH_SEED      — base seed (default 20010827)
-//   HBH_JOBS      — worker threads for the trial grid (default: all cores;
-//                   1 = historical serial path; docs/PERFORMANCE.md)
-//   HBH_CSV       — set to 1 to also print machine-readable CSV
-//   HBH_REPORT    — write a JSON run report (hbh.run_report/v1) to this path
-//   HBH_LOG_LEVEL — trace|debug|info|warn|error
+// the paper plots. Tuned via the HBH_* environment knobs — accessors in
+// util/env.hpp, authoritative table in README "Environment knobs"
+// (HBH_TRIALS defaults to 60 here; the paper uses 500).
 #pragma once
 
 #include <cstdio>
@@ -29,11 +24,10 @@ inline harness::ExperimentSpec spec_from_env(harness::TopoKind topology) {
                          : harness::random50_group_sizes();
   // Default trial counts keep the whole bench suite to minutes on one
   // core; the paper's full 500-trial runs are one env var away.
-  const std::int64_t default_trials =
+  const std::size_t default_trials =
       topology == harness::TopoKind::kIsp ? 60 : 25;
-  spec.trials =
-      static_cast<std::size_t>(env_int_or("HBH_TRIALS", default_trials));
-  spec.base_seed = static_cast<std::uint64_t>(env_int_or("HBH_SEED", 20010827));
+  spec.trials = env_trials(default_trials);
+  spec.base_seed = env_seed();
   return spec;
 }
 
@@ -59,10 +53,10 @@ inline int run_figure(const char* figure, const char* paper_caption,
                 "convergence\n",
                 failures, spec.trials * spec.group_sizes.size() * 4);
   }
-  if (env_int_or("HBH_CSV", 0) != 0) {
+  if (env_csv()) {
     std::printf("\n%s", harness::format_csv(results).c_str());
   }
-  const std::string report = env_str_or("HBH_REPORT", "");
+  const std::string report = env_report_path();
   if (!report.empty()) {
     if (harness::write_run_report(spec, results, figure, report)) {
       std::printf("report: %s\n", report.c_str());
@@ -81,7 +75,7 @@ inline int run_figure(const char* figure, const char* paper_caption,
 inline void maybe_write_bench_report(
     const char* name, harness::TopoKind topology,
     const harness::SessionHook& customize = {}) {
-  const std::string path = env_str_or("HBH_REPORT", "");
+  const std::string path = env_report_path();
   if (path.empty()) return;
   const harness::ExperimentSpec spec = spec_from_env(topology);
   std::vector<harness::SweepResult> results;

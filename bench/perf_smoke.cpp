@@ -98,8 +98,8 @@ int main() {
   harness::ExperimentSpec spec;
   spec.topology = harness::TopoKind::kIsp;
   spec.group_sizes = harness::isp_group_sizes();
-  spec.trials = static_cast<std::size_t>(env_int_or("HBH_TRIALS", 20));
-  spec.base_seed = static_cast<std::uint64_t>(env_int_or("HBH_SEED", 20010827));
+  spec.trials = env_trials(20);
+  spec.base_seed = env_seed();
   const std::size_t jobs = harness::TrialPool::resolve_jobs();
 
   std::printf("=== perf_smoke — experiment engine + hot loops ===\n");
@@ -138,7 +138,7 @@ int main() {
   }
 
   const std::string out_path =
-      env_str_or("HBH_PERF_OUT", "BENCH_perf_smoke.json");
+      env_perf_out("BENCH_perf_smoke.json");
   if (!out_path.empty()) {
     std::ofstream out{out_path};
     if (!out) {

@@ -1,0 +1,56 @@
+#include "harness/churn_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace hbh::harness {
+
+ChurnPlan& ChurnPlan::join(Time at, NodeId host) {
+  events_.push_back(ChurnEvent{at, host, true});
+  return *this;
+}
+
+ChurnPlan& ChurnPlan::leave(Time at, NodeId host) {
+  events_.push_back(ChurnEvent{at, host, false});
+  return *this;
+}
+
+ChurnPlan ChurnPlan::exponential_on_off(const std::vector<NodeId>& receivers,
+                                        const ChurnConfig& config,
+                                        std::uint64_t seed) {
+  assert(config.mean_on > 0 && config.mean_off > 0);
+  ChurnPlan plan;
+  // Tag each event with its receiver's position so the final ordering is
+  // total and independent of NodeId values (stable tie-break at equal t).
+  struct Tagged {
+    ChurnEvent event;
+    std::size_t receiver;
+  };
+  std::vector<Tagged> tagged;
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    // One independent stream per receiver, derived in the cell_seed mixing
+    // idiom: adding or reordering other receivers never perturbs this one.
+    std::uint64_t mix = seed ^ (0x100000001B3ull * (i + 1));
+    Rng rng{splitmix64(mix)};
+    bool joined = rng.chance(config.p_start_joined);
+    if (joined) tagged.push_back({ChurnEvent{0, receivers[i], true}, i});
+    Time t = 0;
+    for (;;) {
+      t += rng.exponential(joined ? config.mean_on : config.mean_off);
+      if (t >= config.horizon) break;
+      joined = !joined;
+      tagged.push_back({ChurnEvent{t, receivers[i], joined}, i});
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.event.at != b.event.at) return a.event.at < b.event.at;
+    return a.receiver < b.receiver;
+  });
+  plan.events_.reserve(tagged.size());
+  for (const Tagged& t : tagged) plan.events_.push_back(t.event);
+  return plan;
+}
+
+}  // namespace hbh::harness

@@ -1,0 +1,68 @@
+// A ChurnPlan is a deterministic, time-ordered script of membership
+// events — receiver joins and leaves — that a channel schedules onto its
+// session's simulator in one call (the membership analogue of FaultPlan).
+//
+// The generator models each receiver as an independent exponential on/off
+// process: subscribed dwell times ~ Exp(mean_on), unsubscribed dwell
+// times ~ Exp(mean_off). All events are pregenerated from the plan seed
+// (one derived RNG stream per receiver, in the caller's receiver order),
+// so the plan is a pure function of (seed, receivers, config): replaying
+// it under any HBH_JOBS worker count reproduces the run event-for-event —
+// the same paired-trial determinism contract the experiment driver uses
+// (docs/PERFORMANCE.md, docs/CHANNELS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace hbh::harness {
+
+/// One scripted membership event. `at` is a delay relative to the moment
+/// the plan is handed to ChannelHandle::schedule_churn() — plans compose
+/// with an already-running session.
+struct ChurnEvent {
+  Time at = 0;
+  NodeId host{};
+  bool join = true;  ///< false: unsubscribe
+};
+
+/// Parameters of the exponential on/off membership process.
+struct ChurnConfig {
+  double mean_on = 120;   ///< mean subscribed dwell time (time units)
+  double mean_off = 60;   ///< mean unsubscribed dwell time
+  Time horizon = 400;     ///< generate events in [0, horizon)
+  double p_start_joined = 0.5;  ///< probability a receiver starts joined
+};
+
+/// Fluent builder + seeded generator for membership scripts:
+///
+///   auto plan = ChurnPlan::exponential_on_off(receivers, {.horizon = 400},
+///                                             seed);
+///   channel.schedule_churn(plan);          // or build by hand:
+///   ChurnPlan manual;
+///   manual.join(5, r1).leave(80, r1).join(120, r2);
+class ChurnPlan {
+ public:
+  ChurnPlan& join(Time at, NodeId host);
+  ChurnPlan& leave(Time at, NodeId host);
+
+  /// Generates per-receiver on/off processes from `seed`. Events come out
+  /// sorted by (time, receiver order); receivers that start joined get a
+  /// join at t=0. Deterministic: same (receivers, config, seed) → same
+  /// plan, and receiver i's stream never perturbs receiver j's.
+  [[nodiscard]] static ChurnPlan exponential_on_off(
+      const std::vector<NodeId>& receivers, const ChurnConfig& config,
+      std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+}  // namespace hbh::harness

@@ -82,11 +82,9 @@ TrialSetup prepare_trial(const ExperimentSpec& spec, Protocol protocol,
   assert(group_size <= candidates.size());
   const std::vector<NodeId> receivers = rng.sample(candidates, group_size);
 
-  SessionConfig config;
-  config.timers = spec.timers;
   TrialSetup setup;
   setup.session =
-      std::make_unique<Session>(std::move(scenario), protocol, config);
+      std::make_unique<Session>(std::move(scenario), protocol, spec.session);
   // Staggered joins in randomized order (the sample above is already
   // shuffled), spaced just over a tree period apart: each join meets the
   // state the previous receivers built, as in an ongoing session. The
@@ -94,7 +92,7 @@ TrialSetup prepare_trial(const ExperimentSpec& spec, Protocol protocol,
   Time delay = 0.1;
   for (const NodeId r : receivers) {
     setup.session->subscribe(r, delay);
-    delay += 1.2 * spec.timers.tree_period;
+    delay += 1.2 * spec.session.timers.tree_period;
   }
   setup.last_join = delay;
   return setup;
@@ -317,7 +315,7 @@ bool write_run_report(const ExperimentSpec& spec,
   for (const auto& sweep : results) {
     TrialSetup setup = prepare_trial(spec, sweep.protocol, size, 0);
     Session& session = *setup.session;
-    session.enable_telemetry(spec.timers.tree_period);
+    session.enable_telemetry(spec.session.timers.tree_period);
     if (customize) customize(session);
     session.run_for(setup.last_join + spec.warmup);
     const Measurement m = session.measure(spec.drain);
@@ -352,7 +350,7 @@ bool write_run_report(const ExperimentSpec& spec,
 bool maybe_write_report_from_env(const ExperimentSpec& spec,
                                  const std::vector<SweepResult>& results,
                                  std::string_view figure) {
-  const std::string path = env_str_or("HBH_REPORT", "");
+  const std::string path = env_report_path();
   if (path.empty()) return false;
   return write_run_report(spec, results, figure, path);
 }

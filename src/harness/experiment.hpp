@@ -35,7 +35,10 @@ struct ExperimentSpec {
   bool symmetric_costs = false;            ///< ablation: symmetrize links
   Time warmup = 240;                       ///< control-plane convergence time
   Time drain = 160;                        ///< data-plane settling per probe
-  mcast::McastConfig timers{};
+  /// Per-session wiring (soft-state timers, unicast-only clouds) handed
+  /// verbatim to every trial's Session — the one source of truth for
+  /// protocol timer configuration.
+  SessionConfig session{};
 };
 
 /// Default sweeps matching the figures' x-axes.

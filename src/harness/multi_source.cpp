@@ -1,0 +1,62 @@
+#include "harness/multi_source.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hbh::harness {
+
+net::ProtocolAgent& MultiSourceHost::add_source(
+    const net::Channel& channel, std::unique_ptr<net::ProtocolAgent> source) {
+  assert(source != nullptr);
+  assert(self().valid());  // attach the composite before adding sources
+  net().adopt(self(), *source);
+  subs_.push_back(Sub{channel, std::move(source)});
+  net::ProtocolAgent& agent = *subs_.back().agent;
+  if (started_) agent.start();
+  return agent;
+}
+
+void MultiSourceHost::start() {
+  started_ = true;
+  for (Sub& sub : subs_) sub.agent->start();
+}
+
+void MultiSourceHost::handle(net::Packet&& packet, NodeId from) {
+  for (Sub& sub : subs_) {
+    if (packet.channel == sub.channel) {
+      sub.agent->handle(std::move(packet), from);
+      return;
+    }
+  }
+  // Not one of ours: transit traffic through the host node.
+  net::ProtocolAgent::handle(std::move(packet), from);
+}
+
+net::ProtocolAgent* MultiSourceHost::agent_for(const net::Channel& channel) {
+  for (Sub& sub : subs_) {
+    if (sub.channel == channel) return sub.agent.get();
+  }
+  return nullptr;
+}
+
+const net::ProtocolAgent* MultiSourceHost::agent_for(
+    const net::Channel& channel) const {
+  for (const Sub& sub : subs_) {
+    if (sub.channel == channel) return sub.agent.get();
+  }
+  return nullptr;
+}
+
+net::AgentStats MultiSourceHost::sub_stats() const {
+  net::AgentStats total;
+  for (const Sub& sub : subs_) {
+    const net::AgentStats& s = sub.agent->stats();
+    for (std::size_t i = 0; i < net::kPacketTypeCount; ++i) {
+      total.rx_by_type[i] += s.rx_by_type[i];
+    }
+    total.timer_fires += s.timer_fires;
+  }
+  return total;
+}
+
+}  // namespace hbh::harness

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "harness/churn_plan.hpp"
+#include "harness/multi_source.hpp"
 #include "mcast/hbh/router.hpp"
 #include "mcast/hbh/source.hpp"
 #include "mcast/pim/router.hpp"
@@ -31,6 +33,48 @@ const std::vector<Protocol>& all_protocols() {
   return kAll;
 }
 
+// --- ChannelHandle: thin forwards into its Session -------------------------
+
+const net::Channel& ChannelHandle::channel() const {
+  return session_->channels_.at(id_).channel;
+}
+
+NodeId ChannelHandle::source_host() const {
+  return session_->channels_.at(id_).source_host;
+}
+
+NodeId ChannelHandle::rp() const { return session_->channels_.at(id_).rp; }
+
+void ChannelHandle::subscribe(NodeId host, Time delay) {
+  session_->subscribe_on(id_, host, delay);
+}
+
+void ChannelHandle::unsubscribe(NodeId host, Time delay) {
+  session_->unsubscribe_on(id_, host, delay);
+}
+
+std::vector<NodeId> ChannelHandle::members() const {
+  return session_->members_of(id_);
+}
+
+Measurement ChannelHandle::measure(Time drain) {
+  return session_->measure_on(id_, drain);
+}
+
+std::uint64_t ChannelHandle::total_structural_changes() const {
+  return session_->structural_changes_of(id_);
+}
+
+StateCensus ChannelHandle::state_census() const {
+  return session_->state_census(id_);
+}
+
+void ChannelHandle::schedule_churn(const ChurnPlan& plan) {
+  session_->schedule_churn(id_, plan);
+}
+
+// --- Session ---------------------------------------------------------------
+
 Session::Session(topo::Scenario scenario, Protocol protocol,
                  SessionConfig config)
     : scenario_(std::move(scenario)),
@@ -40,10 +84,10 @@ Session::Session(topo::Scenario scenario, Protocol protocol,
   assert(scenario_.source_host.valid());
   routes_ = std::make_unique<routing::UnicastRouting>(scenario_.topo);
   net_ = std::make_unique<net::Network>(sim_, scenario_.topo, *routes_);
-  channel_ = net::Channel{net_->address_of(scenario_.source_host),
-                          GroupAddr::ssm(1)};
   install_agents(config);
+  create_channel(scenario_.source_host);  // channel 0: the default channel
   net_->start();
+  started_ = true;
 }
 
 Session::~Session() {
@@ -55,15 +99,22 @@ Session::~Session() {
 
 net::AgentStats Session::aggregate_agent_stats() const {
   net::AgentStats total;
-  const auto accumulate = [&](NodeId n) {
-    const net::AgentStats& s = net_->agent(n).stats();
+  const auto add = [&](const net::AgentStats& s) {
     for (std::size_t i = 0; i < net::kPacketTypeCount; ++i) {
       total.rx_by_type[i] += s.rx_by_type[i];
     }
     total.timer_fires += s.timer_fires;
   };
-  for (const NodeId router : scenario_.routers) accumulate(router);
-  for (const NodeId host : scenario_.hosts) accumulate(host);
+  for (const NodeId router : scenario_.routers) {
+    add(net_->agent(router).stats());
+  }
+  for (const NodeId host : scenario_.hosts) {
+    add(net_->agent(host).stats());
+    // Source sub-agents are invisible to the Network's per-node counting;
+    // their timer fires (tree rounds) accrue inside the composite.
+    const auto it = source_hosts_.find(host);
+    if (it != source_hosts_.end()) add(it->second->sub_stats());
+  }
   return total;
 }
 
@@ -90,6 +141,8 @@ metrics::Registry& Session::enable_telemetry(Time sample_period) {
                  [this] { return static_cast<double>(sim_.executed()); });
 
   // Protocol state (the paper's §2.1 router-state story, over time).
+  // Cross-channel sums: identical to the per-channel numbers for
+  // single-channel sessions.
   reg.bind_gauge("state.control_entries", [this] {
     return static_cast<double>(state_census().control_entries);
   });
@@ -104,6 +157,33 @@ metrics::Registry& Session::enable_telemetry(Time sample_period) {
   });
   reg.bind_gauge("session.members",
                  [this] { return static_cast<double>(members().size()); });
+  reg.bind_gauge("session.channels",
+                 [this] { return static_cast<double>(channels_.size()); });
+
+  // Per-router-class aggregates (§3's state-placement claim, over time).
+  struct ClassGauge {
+    const char* name;
+    ClassCensus AggregateCensus::* bucket;
+  };
+  static constexpr ClassGauge kClasses[] = {
+      {"branching", &AggregateCensus::branching},
+      {"non_branching", &AggregateCensus::non_branching},
+      {"rp", &AggregateCensus::rp},
+  };
+  for (const auto& cls : kClasses) {
+    const std::string prefix = std::string("state.") + cls.name;
+    reg.bind_gauge(prefix + ".routers", [this, bucket = cls.bucket] {
+      return static_cast<double>((aggregate_census().*bucket).routers);
+    });
+    reg.bind_gauge(prefix + ".control_entries", [this, bucket = cls.bucket] {
+      return static_cast<double>((aggregate_census().*bucket).control_entries);
+    });
+    reg.bind_gauge(prefix + ".forwarding_entries", [this,
+                                                    bucket = cls.bucket] {
+      return static_cast<double>(
+          (aggregate_census().*bucket).forwarding_entries);
+    });
+  }
 
   // Aggregated per-agent receive/timer counters.
   reg.bind_gauge("agents.timer_fires", [this] {
@@ -157,10 +237,52 @@ std::unique_ptr<net::ProtocolAgent> Session::make_router_agent() const {
   return std::make_unique<net::ProtocolAgent>();
 }
 
+Session::SourceAgent Session::make_source_agent(
+    const net::Channel& channel, NodeId rp,
+    const mcast::McastConfig& timers) const {
+  SourceAgent out;
+  switch (protocol_) {
+    case Protocol::kHbh: {
+      auto source = std::make_unique<mcast::hbh::HbhSource>(channel, timers);
+      auto* src = source.get();
+      out.send_data = [src](std::uint64_t probe, std::uint32_t seq) {
+        return src->send_data(probe, seq);
+      };
+      out.agent = std::move(source);
+      break;
+    }
+    case Protocol::kReunite: {
+      auto source =
+          std::make_unique<mcast::reunite::ReuniteSource>(channel, timers);
+      auto* src = source.get();
+      out.send_data = [src](std::uint64_t probe, std::uint32_t seq) {
+        return src->send_data(probe, seq);
+      };
+      out.agent = std::move(source);
+      break;
+    }
+    case Protocol::kPimSs:
+    case Protocol::kPimSm: {
+      auto source = std::make_unique<mcast::pim::PimSource>(
+          channel,
+          protocol_ == Protocol::kPimSm ? mcast::pim::PimMode::kSharedTree
+                                        : mcast::pim::PimMode::kSourceTree,
+          rp.valid() ? net_->address_of(rp) : kNoAddr);
+      auto* src = source.get();
+      out.send_data = [src](std::uint64_t probe, std::uint32_t seq) {
+        return src->send_data(probe, seq);
+      };
+      out.agent = std::move(source);
+      break;
+    }
+  }
+  return out;
+}
+
 void Session::install_agents(const SessionConfig& config) {
   const auto& timers = config.timers;
 
-  // Receiver hosts (every host except the source).
+  // Receiver hosts (every host except the default channel's source).
   const mcast::JoinStyle style =
       (protocol_ == Protocol::kHbh || protocol_ == Protocol::kReunite)
           ? mcast::JoinStyle::kSourceJoin
@@ -178,95 +300,99 @@ void Session::install_agents(const SessionConfig& config) {
     if (is_unicast_only(router)) continue;
     net_->attach(router, make_router_agent());
   }
-
-  switch (protocol_) {
-    case Protocol::kHbh: {
-      auto source =
-          std::make_unique<mcast::hbh::HbhSource>(channel_, timers);
-      auto* src = static_cast<mcast::hbh::HbhSource*>(
-          &net_->attach(scenario_.source_host, std::move(source)));
-      send_data_ = [src](std::uint64_t probe, std::uint32_t seq) {
-        return src->send_data(probe, seq);
-      };
-      break;
-    }
-    case Protocol::kReunite: {
-      auto source =
-          std::make_unique<mcast::reunite::ReuniteSource>(channel_, timers);
-      auto* src = static_cast<mcast::reunite::ReuniteSource*>(
-          &net_->attach(scenario_.source_host, std::move(source)));
-      send_data_ = [src](std::uint64_t probe, std::uint32_t seq) {
-        return src->send_data(probe, seq);
-      };
-      break;
-    }
-    case Protocol::kPimSs:
-    case Protocol::kPimSm: {
-      Ipv4Addr rp_addr = kNoAddr;
-      if (protocol_ == Protocol::kPimSm) {
-        rp_ = mcast::pim::choose_rp_delay_aware(*routes_, scenario_.routers,
-                                                scenario_.source_host);
-        rp_addr = net_->address_of(rp_);
-      }
-      auto source = std::make_unique<mcast::pim::PimSource>(
-          channel_,
-          protocol_ == Protocol::kPimSm ? mcast::pim::PimMode::kSharedTree
-                                        : mcast::pim::PimMode::kSourceTree,
-          rp_addr);
-      auto* src = static_cast<mcast::pim::PimSource*>(
-          &net_->attach(scenario_.source_host, std::move(source)));
-      send_data_ = [src](std::uint64_t probe, std::uint32_t seq) {
-        return src->send_data(probe, seq);
-      };
-      break;
-    }
-  }
 }
 
-void Session::subscribe(NodeId host, Time delay) {
-  auto* receiver = receivers_.at(host);
-  const Ipv4Addr root =
-      protocol_ == Protocol::kPimSm ? net_->address_of(rp_) : channel_.source;
-  if (delay <= 0) {
-    receiver->subscribe(channel_, root);
+ChannelHandle Session::create_channel(NodeId source_host,
+                                      std::optional<mcast::McastConfig> timers) {
+  assert(source_host.valid());
+  ChannelState state;
+  state.source_host = source_host;
+  state.channel = net::Channel{net_->address_of(source_host),
+                               GroupAddr::ssm(next_group_++)};
+  if (protocol_ == Protocol::kPimSm) {
+    state.rp = mcast::pim::choose_rp_delay_aware(*routes_, scenario_.routers,
+                                                 source_host);
+  }
+
+  MultiSourceHost* composite = nullptr;
+  const auto found = source_hosts_.find(source_host);
+  if (found != source_hosts_.end()) {
+    composite = found->second;
   } else {
-    sim_.schedule(delay, [receiver, channel = channel_, root] {
+    // The host stops being a receiver. It must not hold subscriptions —
+    // a subscribed receiver cannot silently become a source.
+    if (const auto it = receivers_.find(source_host); it != receivers_.end()) {
+      assert(it->second->subscription_count() == 0);
+      receivers_.erase(it);
+    }
+    auto owner = std::make_unique<MultiSourceHost>();
+    composite = owner.get();
+    net_->attach(source_host, std::move(owner));
+    source_hosts_[source_host] = composite;
+    if (started_) composite->start();
+  }
+
+  SourceAgent src =
+      make_source_agent(state.channel, state.rp, timers.value_or(timers_));
+  state.send_data = std::move(src.send_data);
+  composite->add_source(state.channel, std::move(src.agent));
+  channels_.push_back(std::move(state));
+  return ChannelHandle{this, static_cast<ChannelId>(channels_.size() - 1)};
+}
+
+ChannelHandle Session::channel_handle(ChannelId id) {
+  assert(id < channels_.size());
+  return ChannelHandle{this, id};
+}
+
+void Session::subscribe_on(ChannelId id, NodeId host, Time delay) {
+  const ChannelState& ch = channels_.at(id);
+  auto* receiver = receivers_.at(host);
+  const Ipv4Addr root = protocol_ == Protocol::kPimSm ? net_->address_of(ch.rp)
+                                                      : ch.channel.source;
+  if (delay <= 0) {
+    receiver->subscribe(ch.channel, root);
+  } else {
+    sim_.schedule(delay, [receiver, channel = ch.channel, root] {
       receiver->subscribe(channel, root);
     });
   }
 }
 
-void Session::unsubscribe(NodeId host, Time delay) {
+void Session::unsubscribe_on(ChannelId id, NodeId host, Time delay) {
+  const ChannelState& ch = channels_.at(id);
   auto* receiver = receivers_.at(host);
   if (delay <= 0) {
-    receiver->unsubscribe(channel_);
+    receiver->unsubscribe(ch.channel);
   } else {
-    sim_.schedule(delay, [receiver, channel = channel_] {
+    sim_.schedule(delay, [receiver, channel = ch.channel] {
       receiver->unsubscribe(channel);
     });
   }
 }
 
-std::vector<NodeId> Session::members() const {
+std::vector<NodeId> Session::members_of(ChannelId id) const {
+  const net::Channel& channel = channels_.at(id).channel;
   std::vector<NodeId> out;
   for (const NodeId host : scenario_.hosts) {  // stable order
     const auto it = receivers_.find(host);
-    if (it != receivers_.end() && it->second->subscribed(channel_)) {
+    if (it != receivers_.end() && it->second->subscribed(channel)) {
       out.push_back(host);
     }
   }
   return out;
 }
 
-Measurement Session::measure(Time drain) {
-  const std::vector<NodeId> expected = members();
+Measurement Session::measure_on(ChannelId id, Time drain) {
+  ChannelState& ch = channels_.at(id);
+  const std::vector<NodeId> expected = members_of(id);
   active_probe_ = std::make_unique<metrics::DataProbe>(next_probe_++);
   net_->set_tap(active_probe_.get());
   for (auto& [host, receiver] : receivers_) {
     receiver->set_sink(active_probe_.get());
   }
 
-  const std::size_t sent = send_data_(active_probe_->probe_id(), next_seq_++);
+  const std::size_t sent = ch.send_data(active_probe_->probe_id(), ch.next_seq++);
   (void)sent;
   sim_.run_for(drain);
 
@@ -281,6 +407,16 @@ Measurement Session::measure(Time drain) {
   net_->set_tap(nullptr);
   for (auto& [host, receiver] : receivers_) receiver->set_sink(nullptr);
   return m;
+}
+
+void Session::schedule_churn(ChannelId id, const ChurnPlan& plan) {
+  for (const ChurnEvent& ev : plan.events()) {
+    if (ev.join) {
+      subscribe_on(id, ev.host, ev.at);
+    } else {
+      unsubscribe_on(id, ev.host, ev.at);
+    }
+  }
 }
 
 void Session::recompute_routes() {
@@ -322,7 +458,7 @@ bool Session::crashed(NodeId router) const {
 }
 
 void Session::crash_router(NodeId router) {
-  assert(router != scenario_.source_host);  // sources are not crashable
+  assert(!source_hosts_.contains(router));  // sources are not crashable
   assert(!is_unicast_only(router));         // nothing to crash
   if (crashed(router)) return;
   // Carry the dying agent's contribution into the session-level totals
@@ -331,11 +467,17 @@ void Session::crash_router(NodeId router) {
   if (protocol_ == Protocol::kHbh) {
     const auto& hbh = static_cast<const mcast::hbh::HbhRouter&>(agent);
     retired_structural_changes_ += hbh.structural_changes();
+    for (const auto& [ch, n] : hbh.structural_by_channel()) {
+      retired_structural_by_channel_[ch] += n;
+    }
     retired_joins_intercepted_ += hbh.joins_intercepted();
   } else if (protocol_ == Protocol::kReunite) {
-    retired_structural_changes_ +=
-        static_cast<const mcast::reunite::ReuniteRouter&>(agent)
-            .structural_changes();
+    const auto& reunite =
+        static_cast<const mcast::reunite::ReuniteRouter&>(agent);
+    retired_structural_changes_ += reunite.structural_changes();
+    for (const auto& [ch, n] : reunite.structural_by_channel()) {
+      retired_structural_by_channel_[ch] += n;
+    }
   }
   // The default agent keeps unicast forwarding alive: this models a
   // control-plane (protocol process) crash, not a powered-off node.
@@ -401,57 +543,148 @@ std::uint64_t Session::total_structural_changes() const {
   return total;
 }
 
+std::uint64_t Session::structural_changes_of(ChannelId id) const {
+  const net::Channel& channel = channels_.at(id).channel;
+  std::uint64_t total = 0;
+  if (const auto it = retired_structural_by_channel_.find(channel);
+      it != retired_structural_by_channel_.end()) {
+    total = it->second;
+  }
+  for (const NodeId router : scenario_.routers) {
+    if (is_unicast_only(router) || crashed(router)) continue;
+    const net::ProtocolAgent& agent = net_->agent(router);
+    if (protocol_ == Protocol::kHbh) {
+      total += static_cast<const mcast::hbh::HbhRouter&>(agent)
+                   .structural_changes(channel);
+    } else if (protocol_ == Protocol::kReunite) {
+      total += static_cast<const mcast::reunite::ReuniteRouter&>(agent)
+                   .structural_changes(channel);
+    }
+  }
+  return total;
+}
+
 mcast::ReceiverHost& Session::receiver(NodeId host) const {
   return *receivers_.at(host);
 }
 
-Session::StateCensus Session::state_census() const {
+net::ProtocolAgent& Session::source_agent(ChannelId id) const {
+  const ChannelState& ch = channels_.at(id);
+  net::ProtocolAgent* agent =
+      source_hosts_.at(ch.source_host)->agent_for(ch.channel);
+  assert(agent != nullptr);
+  return *agent;
+}
+
+std::pair<std::size_t, std::size_t> Session::router_channel_state(
+    NodeId router, const net::Channel& channel) const {
   // Time-aware: routers purge lazily (on the next message for the
   // channel), so a census that counted raw table rows would report state
   // that is already dead by its own timestamps — forever, once traffic
   // stops. Count only entries that are still alive at `now`.
   const Time now = sim_.now();
+  const net::ProtocolAgent& agent = net_->agent(router);
+  std::size_t control = 0;
+  std::size_t forwarding = 0;
+  switch (protocol_) {
+    case Protocol::kHbh: {
+      const auto* st =
+          static_cast<const mcast::hbh::HbhRouter&>(agent).state(channel);
+      if (st != nullptr) {
+        if (st->mct && !st->mct->state.dead(now)) control = 1;
+        if (st->mft) forwarding = st->mft->live_targets(now).size();
+      }
+      break;
+    }
+    case Protocol::kReunite: {
+      const auto* st = static_cast<const mcast::reunite::ReuniteRouter&>(agent)
+                           .state(channel);
+      if (st != nullptr) {
+        if (st->mct && !st->mct->state.dead(now)) control = 1;
+        if (st->mft) {
+          if (!st->mft->dst_state.dead(now)) forwarding += 1;
+          for (const auto& [target, entry] : st->mft->entries) {
+            if (!entry.dead(now)) ++forwarding;
+          }
+        }
+      }
+      break;
+    }
+    case Protocol::kPimSm:
+    case Protocol::kPimSs:
+      forwarding =
+          static_cast<const mcast::pim::PimRouter&>(agent).oifs(channel).size();
+      break;
+  }
+  return {control, forwarding};
+}
+
+StateCensus Session::state_census(ChannelId id) const {
+  const net::Channel& channel = channels_.at(id).channel;
   StateCensus census;
   for (const NodeId router : scenario_.routers) {
     if (is_unicast_only(router) || crashed(router)) continue;
-    const net::ProtocolAgent& agent = net_->agent(router);
+    const auto [control, forwarding] = router_channel_state(router, channel);
+    census.control_entries += control;
+    census.forwarding_entries += forwarding;
+    if (control + forwarding > 0) ++census.routers_with_state;
+  }
+  return census;
+}
+
+StateCensus Session::state_census() const {
+  StateCensus census;
+  for (const NodeId router : scenario_.routers) {
+    if (is_unicast_only(router) || crashed(router)) continue;
     std::size_t control = 0;
     std::size_t forwarding = 0;
-    switch (protocol_) {
-      case Protocol::kHbh: {
-        const auto* st =
-            static_cast<const mcast::hbh::HbhRouter&>(agent).state(channel_);
-        if (st != nullptr) {
-          if (st->mct && !st->mct->state.dead(now)) control = 1;
-          if (st->mft) forwarding = st->mft->live_targets(now).size();
-        }
-        break;
-      }
-      case Protocol::kReunite: {
-        const auto* st = static_cast<const mcast::reunite::ReuniteRouter&>(agent)
-                             .state(channel_);
-        if (st != nullptr) {
-          if (st->mct && !st->mct->state.dead(now)) control = 1;
-          if (st->mft) {
-            if (!st->mft->dst_state.dead(now)) forwarding += 1;
-            for (const auto& [target, entry] : st->mft->entries) {
-              if (!entry.dead(now)) ++forwarding;
-            }
-          }
-        }
-        break;
-      }
-      case Protocol::kPimSm:
-      case Protocol::kPimSs:
-        forwarding =
-            static_cast<const mcast::pim::PimRouter&>(agent).oifs(channel_).size();
-        break;
+    for (const ChannelState& ch : channels_) {
+      const auto [c, f] = router_channel_state(router, ch.channel);
+      control += c;
+      forwarding += f;
     }
     census.control_entries += control;
     census.forwarding_entries += forwarding;
     if (control + forwarding > 0) ++census.routers_with_state;
   }
   return census;
+}
+
+AggregateCensus Session::aggregate_census() const {
+  AggregateCensus out;
+  for (const NodeId router : scenario_.routers) {
+    if (is_unicast_only(router) || crashed(router)) continue;
+    std::size_t router_total = 0;
+    for (const ChannelState& ch : channels_) {
+      const auto [control, forwarding] =
+          router_channel_state(router, ch.channel);
+      if (control + forwarding == 0) continue;
+      router_total += control + forwarding;
+      out.totals.control_entries += control;
+      out.totals.forwarding_entries += forwarding;
+
+      // Classify this (router, channel) incidence. For HBH/REUNITE, any
+      // live MFT makes the router an addressed replication point for the
+      // channel — branching (see docs/CHANNELS.md on HBH's relay MFTs).
+      // PIM needs >=2 oifs to replicate; one oif is a plain on-tree
+      // transit router, which still pays forwarding state. The PIM-SM RP
+      // is its own class regardless of fan-out.
+      ClassCensus* bucket = nullptr;
+      if (protocol_ == Protocol::kPimSm && router == ch.rp) {
+        bucket = &out.rp;
+      } else if (protocol_ == Protocol::kPimSm ||
+                 protocol_ == Protocol::kPimSs) {
+        bucket = forwarding >= 2 ? &out.branching : &out.non_branching;
+      } else {
+        bucket = forwarding > 0 ? &out.branching : &out.non_branching;
+      }
+      ++bucket->routers;
+      bucket->control_entries += control;
+      bucket->forwarding_entries += forwarding;
+    }
+    if (router_total > 0) ++out.totals.routers_with_state;
+  }
+  return out;
 }
 
 }  // namespace hbh::harness

@@ -1,11 +1,20 @@
-// A Session wires one protocol onto one topology and drives a simulation:
+// A Session wires one protocol onto one topology and drives a simulation.
+//
+// One Session = one network hosting N ⟨S,G⟩ channels (the EXPRESS channel
+// model, §2.1). The constructor creates a default channel rooted at the
+// scenario's source host; Session::create_channel() adds more, each
+// returning a ChannelHandle that carries the per-channel surface:
 // subscribe/unsubscribe receivers, run the control plane to convergence,
 // then inject probe packets and measure tree cost and receiver delay.
+// The original single-channel methods remain as thin forwards to the
+// default channel, so single-channel code reads exactly as before
+// (docs/CHANNELS.md).
 //
 // This is the public entry point a downstream user of the library touches
 // first (see examples/quickstart.cpp).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,6 +36,10 @@
 #include "topo/builders.hpp"
 
 namespace hbh::harness {
+
+class ChurnPlan;
+class MultiSourceHost;
+class Session;
 
 /// The four protocols the paper evaluates (§4.2).
 enum class Protocol { kHbh, kReunite, kPimSm, kPimSs };
@@ -58,10 +71,93 @@ struct Measurement {
   }
 };
 
+/// Router-state census — the paper's §2.1 motivation: REUNITE/HBH keep
+/// *forwarding* state (MFT entries / PIM oifs) only where packets are
+/// replicated, and cheap *control* state (MCT) elsewhere.
+struct StateCensus {
+  std::size_t control_entries = 0;     ///< MCT entries
+  std::size_t forwarding_entries = 0;  ///< MFT entries / PIM oifs
+  std::size_t routers_with_state = 0;
+};
+
+/// State held by one router class (§3's state-placement argument).
+/// `routers` counts (router, channel) incidences: a router that is a
+/// branching node for three channels contributes three — the unit the
+/// aggregate-state scaling claim is about.
+struct ClassCensus {
+  std::size_t routers = 0;
+  std::size_t control_entries = 0;
+  std::size_t forwarding_entries = 0;
+};
+
+/// Cross-channel census, split by router class. For HBH/REUNITE a router
+/// is *branching* on a channel when it holds a live MFT there (it is an
+/// addressed replication point) and *non-branching* when it holds only an
+/// MCT — so non_branching.forwarding_entries is zero by construction, the
+/// paper's claim. For PIM, ≥2 oifs is branching and exactly 1 oif is
+/// non-branching — which still costs forwarding state, the contrast the
+/// paper draws. The PIM-SM RP is its own class for every channel it
+/// serves, whatever its fan-out.
+struct AggregateCensus {
+  StateCensus totals;  ///< routers_with_state counts distinct routers
+  ClassCensus branching;
+  ClassCensus non_branching;
+  ClassCensus rp;
+};
+
+/// Identifies one channel within its Session (0 = the default channel).
+using ChannelId = std::uint32_t;
+
+/// A lightweight per-channel view onto a Session. Copyable; valid for the
+/// Session's lifetime. Obtained from Session::create_channel() /
+/// default_channel() / channel_handle().
+class ChannelHandle {
+ public:
+  ChannelHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return session_ != nullptr; }
+  [[nodiscard]] ChannelId id() const noexcept { return id_; }
+  [[nodiscard]] const net::Channel& channel() const;
+  [[nodiscard]] NodeId source_host() const;
+  /// The RP router serving this channel (PIM-SM only; kNoNode otherwise).
+  [[nodiscard]] NodeId rp() const;
+
+  /// Subscribes the receiver host immediately (or at now+delay).
+  void subscribe(NodeId host, Time delay = 0);
+  void unsubscribe(NodeId host, Time delay = 0);
+
+  /// Currently subscribed receiver hosts, in stable scenario order.
+  [[nodiscard]] std::vector<NodeId> members() const;
+
+  /// Sends one probe data packet from this channel's source and runs the
+  /// simulation for `drain` time units, then reports what happened. Probes
+  /// carry unique ids, so measuring one channel never pollutes another's
+  /// measurement.
+  Measurement measure(Time drain = 150);
+
+  /// Structural table changes attributed to this channel (HBH/REUNITE).
+  [[nodiscard]] std::uint64_t total_structural_changes() const;
+
+  /// Live router state for this channel alone.
+  [[nodiscard]] StateCensus state_census() const;
+
+  /// Schedules every membership event of `plan` on the simulator,
+  /// relative to now (the churn workload of docs/CHANNELS.md).
+  void schedule_churn(const ChurnPlan& plan);
+
+ private:
+  friend class Session;
+  ChannelHandle(Session* session, ChannelId id) : session_(session), id_(id) {}
+
+  Session* session_ = nullptr;
+  ChannelId id_ = 0;
+};
+
 class Session {
  public:
   /// The scenario is copied (costs may be randomized per trial by the
   /// caller *before* constructing the session; routing is computed here).
+  /// A default channel (id 0) is created at the scenario's source host.
   Session(topo::Scenario scenario, Protocol protocol,
           SessionConfig config = {});
   ~Session();
@@ -69,9 +165,6 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   [[nodiscard]] Protocol protocol() const noexcept { return protocol_; }
-  [[nodiscard]] const net::Channel& channel() const noexcept {
-    return channel_;
-  }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] net::Network& network() noexcept { return *net_; }
   [[nodiscard]] const topo::Scenario& scenario() const noexcept {
@@ -80,25 +173,53 @@ class Session {
   [[nodiscard]] const routing::UnicastRouting& routes() const noexcept {
     return *routes_;
   }
-  /// The RP router chosen for PIM-SM (kNoNode otherwise).
-  [[nodiscard]] NodeId rp() const noexcept { return rp_; }
 
-  /// Subscribes the receiver host immediately (or at now+delay).
-  void subscribe(NodeId host, Time delay = 0);
-  void unsubscribe(NodeId host, Time delay = 0);
+  // --- Channels ----------------------------------------------------------
 
-  /// Currently subscribed receiver hosts.
-  [[nodiscard]] std::vector<NodeId> members() const;
+  /// Creates a new ⟨S,G⟩ channel sourced at `source_host` (any host; one
+  /// host can source many channels). The host must not currently be a
+  /// subscribed receiver; it stops being subscribable. `timers` overrides
+  /// the session-wide soft-state timers for this channel's source agent.
+  ChannelHandle create_channel(
+      NodeId source_host,
+      std::optional<mcast::McastConfig> timers = std::nullopt);
+
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] ChannelHandle channel_handle(ChannelId id);
+  [[nodiscard]] ChannelHandle default_channel() { return channel_handle(0); }
+
+  /// Cross-channel router-state census split by router class — the
+  /// aggregate-state scaling measurement (docs/CHANNELS.md).
+  [[nodiscard]] AggregateCensus aggregate_census() const;
+
+  // --- Default-channel forwards (the original single-channel API) --------
+
+  [[nodiscard]] const net::Channel& channel() const noexcept {
+    return channels_.front().channel;
+  }
+  /// The RP router chosen for PIM-SM's default channel (kNoNode otherwise).
+  [[nodiscard]] NodeId rp() const noexcept { return channels_.front().rp; }
+
+  /// Subscribes the receiver host to the default channel (at now+delay).
+  void subscribe(NodeId host, Time delay = 0) { subscribe_on(0, host, delay); }
+  void unsubscribe(NodeId host, Time delay = 0) {
+    unsubscribe_on(0, host, delay);
+  }
+
+  /// Currently subscribed receiver hosts of the default channel.
+  [[nodiscard]] std::vector<NodeId> members() const { return members_of(0); }
 
   /// Advances the simulation by `duration` time units.
   void run_for(Time duration) { sim_.run_for(duration); }
 
-  /// Sends one probe data packet from the source and runs the simulation
-  /// for `drain` time units, then reports what happened.
-  Measurement measure(Time drain = 150);
+  /// Probes the default channel (see ChannelHandle::measure).
+  Measurement measure(Time drain = 150) { return measure_on(0, drain); }
 
-  /// Sum of structural table changes across all protocol routers (HBH /
-  /// REUNITE only; 0 for PIM) — the Figure 4 stability metric.
+  /// Sum of structural table changes across all protocol routers and all
+  /// channels (HBH / REUNITE only; 0 for PIM) — the Figure 4 stability
+  /// metric.
   [[nodiscard]] std::uint64_t total_structural_changes() const;
 
   /// Sets both directions of the duplex link a-b to `cost` (delay = cost)
@@ -127,7 +248,8 @@ class Session {
   /// packets through the node (a control-plane crash, not a node
   /// partition; combine with set_link_down for the latter). Structural
   /// change and join-interception totals survive into the session-level
-  /// counters. No-op if already crashed. Routers only — not hosts.
+  /// counters (globally and per channel). No-op if already crashed.
+  /// Routers only — not hosts.
   void crash_router(NodeId router);
 
   /// Reinstalls a fresh protocol agent on a crashed router and start()s
@@ -157,26 +279,29 @@ class Session {
   /// The same plan + the same impairment seed reproduces a run exactly.
   void schedule_faults(const FaultPlan& plan);
 
-  /// Router-state census for this session's channel — the paper's §2.1
-  /// motivation: REUNITE/HBH keep *forwarding* state (MFT entries / PIM
-  /// oifs) only where packets are replicated, and cheap *control* state
-  /// (MCT) elsewhere.
-  struct StateCensus {
-    std::size_t control_entries = 0;     ///< MCT entries
-    std::size_t forwarding_entries = 0;  ///< MFT entries / PIM oifs
-    std::size_t routers_with_state = 0;
-  };
+  /// Live router state summed over every channel (equals the per-channel
+  /// census for single-channel sessions).
   [[nodiscard]] StateCensus state_census() const;
+
+  /// Live router state for one channel.
+  [[nodiscard]] StateCensus state_census(ChannelId id) const;
 
   /// The receiver host agent (for tests needing raw deliveries).
   [[nodiscard]] mcast::ReceiverHost& receiver(NodeId host) const;
 
+  /// The protocol source agent serving `id`'s channel (HbhSource /
+  /// ReuniteSource / PimSource — cast by protocol). The node-level agent
+  /// at the source host is the multi-channel composite; tests inspecting
+  /// source tables must come through here.
+  [[nodiscard]] net::ProtocolAgent& source_agent(ChannelId id = 0) const;
+
   /// Switches run-wide telemetry on: installs a fabric stats tap and a
   /// message trace on the network, binds protocol-state gauges (MFT/MCT
-  /// entry counts, event-queue depth, membership, per-agent message and
-  /// timer counters), and arms a StateSampler that snapshots every gauge
-  /// every `sample_period` time units. Idempotent; telemetry stays off —
-  /// and costs nothing on the packet path — unless this is called.
+  /// entry counts — total and per router class — event-queue depth,
+  /// membership, channel count, per-agent message and timer counters),
+  /// and arms a StateSampler that snapshots every gauge every
+  /// `sample_period` time units. Idempotent; telemetry stays off — and
+  /// costs nothing on the packet path — unless this is called.
   metrics::Registry& enable_telemetry(Time sample_period = 10.0);
 
   /// Null until enable_telemetry() is called.
@@ -190,15 +315,51 @@ class Session {
     return trace_.get();
   }
 
-  /// Sum of all agents' receive/timer counters (always available).
+  /// Sum of all agents' receive/timer counters (always available),
+  /// including per-channel source sub-agents.
   [[nodiscard]] net::AgentStats aggregate_agent_stats() const;
 
  private:
+  friend class ChannelHandle;
+
+  /// State the session keeps per channel.
+  struct ChannelState {
+    net::Channel channel;
+    NodeId source_host = kNoNode;
+    NodeId rp = kNoNode;  ///< PIM-SM: the RP serving this channel
+    std::function<std::size_t(std::uint64_t, std::uint32_t)> send_data;
+    std::uint32_t next_seq = 0;
+  };
+
+  /// A protocol source agent plus its bound data injector.
+  struct SourceAgent {
+    std::unique_ptr<net::ProtocolAgent> agent;
+    std::function<std::size_t(std::uint64_t, std::uint32_t)> send_data;
+  };
+
   void install_agents(const SessionConfig& config);
   [[nodiscard]] bool is_unicast_only(NodeId n) const;
   /// A freshly constructed protocol router agent for this session's
   /// protocol (shared by install_agents and restart_router).
   [[nodiscard]] std::unique_ptr<net::ProtocolAgent> make_router_agent() const;
+  /// A freshly constructed protocol source agent for `channel` (shared by
+  /// the constructor's default channel and create_channel).
+  [[nodiscard]] SourceAgent make_source_agent(
+      const net::Channel& channel, NodeId rp,
+      const mcast::McastConfig& timers) const;
+
+  // Per-channel operations behind the ChannelHandle surface.
+  void subscribe_on(ChannelId id, NodeId host, Time delay);
+  void unsubscribe_on(ChannelId id, NodeId host, Time delay);
+  [[nodiscard]] std::vector<NodeId> members_of(ChannelId id) const;
+  Measurement measure_on(ChannelId id, Time drain);
+  [[nodiscard]] std::uint64_t structural_changes_of(ChannelId id) const;
+  void schedule_churn(ChannelId id, const ChurnPlan& plan);
+
+  /// Live (control, forwarding) entries `router` holds for `channel`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> router_channel_state(
+      NodeId router, const net::Channel& channel) const;
+
   void set_link_state(NodeId a, NodeId b, bool up);
   void recompute_routes();
 
@@ -211,15 +372,19 @@ class Session {
   /// (Figure 4 stability, telemetry gauges) stay monotone across crashes.
   std::uint64_t retired_structural_changes_ = 0;
   std::uint64_t retired_joins_intercepted_ = 0;
+  std::unordered_map<net::Channel, std::uint64_t> retired_structural_by_channel_;
   sim::Simulator sim_;
   std::unique_ptr<routing::UnicastRouting> routes_;
   std::unique_ptr<net::Network> net_;
-  net::Channel channel_;
-  NodeId rp_ = kNoNode;
-  std::function<std::size_t(std::uint64_t, std::uint32_t)> send_data_;
+  /// Channels in creation order; id 0 is the default channel. A deque so
+  /// channel() references stay stable across create_channel().
+  std::deque<ChannelState> channels_;
+  std::uint16_t next_group_ = 1;
+  bool started_ = false;  ///< net_->start() has run (constructor end)
+  /// The composite source agent per source host (owned by net_).
+  std::unordered_map<NodeId, MultiSourceHost*> source_hosts_;
   std::unordered_map<NodeId, mcast::ReceiverHost*> receivers_;
   std::uint64_t next_probe_ = 1;
-  std::uint32_t next_seq_ = 0;
   std::unique_ptr<metrics::DataProbe> active_probe_;
   // Telemetry (all null while disabled). Declared after net_ so the taps
   // are destroyed first; ~Session detaches them from the network anyway.

@@ -6,8 +6,8 @@ namespace hbh::harness {
 
 std::size_t TrialPool::resolve_jobs(std::size_t jobs) {
   if (jobs != 0) return jobs;
-  const std::int64_t env = env_int_or("HBH_JOBS", 0);
-  if (env > 0) return static_cast<std::size_t>(env);
+  const std::size_t env = env_jobs();
+  if (env > 0) return env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

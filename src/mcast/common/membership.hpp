@@ -65,6 +65,11 @@ class ReceiverHost : public net::ProtocolAgent {
     return subs_.contains(channel);
   }
 
+  /// Number of channels this host is currently subscribed to.
+  [[nodiscard]] std::size_t subscription_count() const noexcept {
+    return subs_.size();
+  }
+
   /// All data deliveries observed so far.
   [[nodiscard]] const std::vector<Delivery>& deliveries() const noexcept {
     return deliveries_;

@@ -65,13 +65,13 @@ void HbhRouter::purge(const net::Channel& ch) {
   ChannelState& st = it->second;
   if (st.mct && st.mct->state.dead(now())) {
     st.mct.reset();
-    ++structural_changes_;
+    note_structural(ch, 1);
   }
   if (st.mft) {
-    structural_changes_ += st.mft->purge(now());
+    note_structural(ch, st.mft->purge(now()));
     if (st.mft->empty()) {
       st.mft.reset();
-      ++structural_changes_;
+      note_structural(ch, 1);
     }
   }
   if (!st.mct && !st.mft) channels_.erase(it);
@@ -192,7 +192,7 @@ void HbhRouter::on_tree(Packet&& packet) {
     } else {
       // T2: a new receiver whose path crosses this branching node.
       mft.upsert(r, config_, now());
-      ++structural_changes_;
+      note_structural(ch, 1);
       send_fusion(ch, mft, tree.last_branch);
     }
     packet.tree().last_branch = self_addr();
@@ -205,7 +205,7 @@ void HbhRouter::on_tree(Packet&& packet) {
     // T4: joining the distribution tree as a transit router.
     ChannelState& st = channels_[ch];
     st.mct = Mct{r, SoftEntry{config_, now()}};
-    ++structural_changes_;
+    note_structural(ch, 1);
     forward(std::move(packet));
     return;
   }
@@ -221,7 +221,7 @@ void HbhRouter::on_tree(Packet&& packet) {
     // T7: the previous branch through here expired; adopt the new one.
     mct.target = r;
     mct.state.refresh(config_, now());
-    ++structural_changes_;
+    note_structural(ch, 1);
     forward(std::move(packet));
     return;
   }
@@ -233,7 +233,7 @@ void HbhRouter::on_tree(Packet&& packet) {
   st.mft.emplace();
   st.mft->upsert(previous, config_, now());
   st.mft->upsert(r, config_, now());
-  structural_changes_ += 2;
+  note_structural(ch, 2);
   log(LogLevel::kDebug, to_string(self()), " becomes branching for ",
       ch.to_string(), " ", st.mft->to_string(now()));
   send_fusion(ch, *st.mft, tree.last_branch);

@@ -57,6 +57,19 @@ class HbhRouter : public net::ProtocolAgent {
     return structural_changes_;
   }
 
+  /// The same counter restricted to one channel (multi-channel sessions
+  /// report per-handle stability; the totals above stay the cross-channel
+  /// sum).
+  [[nodiscard]] std::uint64_t structural_changes(
+      const net::Channel& ch) const {
+    const auto it = structural_by_channel_.find(ch);
+    return it == structural_by_channel_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::unordered_map<net::Channel, std::uint64_t>&
+  structural_by_channel() const noexcept {
+    return structural_by_channel_;
+  }
+
   /// Joins intercepted under rule J3 (HBH's signature mechanism: refresh
   /// locally, join upstream as ourselves) — a telemetry gauge input.
   [[nodiscard]] std::uint64_t joins_intercepted() const noexcept {
@@ -79,6 +92,13 @@ class HbhRouter : public net::ProtocolAgent {
   /// Lazily purges dead state for the channel; drops empty tables.
   void purge(const net::Channel& ch);
 
+  /// Records `n` structural changes against `ch` (and the global total).
+  void note_structural(const net::Channel& ch, std::uint64_t n) {
+    if (n == 0) return;
+    structural_changes_ += n;
+    structural_by_channel_[ch] += n;
+  }
+
   [[nodiscard]] Time now() const { return simulator().now(); }
 
   McastConfig config_;
@@ -91,6 +111,7 @@ class HbhRouter : public net::ProtocolAgent {
   /// reordering — see docs/RESILIENCE.md).
   std::unordered_map<net::Channel, std::uint32_t> seen_wave_;
   std::uint64_t structural_changes_ = 0;
+  std::unordered_map<net::Channel, std::uint64_t> structural_by_channel_;
   std::uint64_t joins_intercepted_ = 0;
 };
 

@@ -44,17 +44,17 @@ void ReuniteRouter::purge(const net::Channel& ch) {
   ChannelState& st = it->second;
   if (st.mct && st.mct->state.dead(now())) {
     st.mct.reset();
-    ++structural_changes_;
+    note_structural(ch, 1);
   }
   if (st.mft) {
     const std::size_t before = st.mft->entries.size();
     const Ipv4Addr dst_before = st.mft->dst;
     if (st.mft->purge(now())) {
       st.mft.reset();
-      ++structural_changes_;
+      note_structural(ch, 1);
     } else {
-      structural_changes_ += before - st.mft->entries.size();
-      if (st.mft->dst != dst_before) ++structural_changes_;
+      note_structural(ch, before - st.mft->entries.size());
+      if (st.mft->dst != dst_before) note_structural(ch, 1);
     }
   }
   if (!st.mct && !st.mft) channels_.erase(it);
@@ -96,7 +96,7 @@ void ReuniteRouter::on_join(Packet&& packet) {
       return;
     }
     mft.entries.emplace(r, SoftEntry{config_, now()});
-    ++structural_changes_;
+    note_structural(ch, 1);
     log(LogLevel::kDebug, to_string(self()), " REUNITE: ", r.to_string(),
         " joins here ", mft.to_string(now()));
     return;
@@ -114,7 +114,7 @@ void ReuniteRouter::on_join(Packet&& packet) {
       mft.entries.emplace(r, SoftEntry{config_, now()});
       st.mct.reset();
       st.mft = std::move(mft);
-      structural_changes_ += 2;
+      note_structural(ch, 2);
       log(LogLevel::kDebug, to_string(self()), " REUNITE becomes branching ",
           st.mft->to_string(now()));
       return;  // join is dropped
@@ -195,7 +195,7 @@ void ReuniteRouter::on_tree(Packet&& packet) {
     if (it != channels_.end() && it->second.mct &&
         it->second.mct->target == r) {
       it->second.mct.reset();
-      ++structural_changes_;
+      note_structural(ch, 1);
       if (!it->second.mft) channels_.erase(it);
     }
     forward(std::move(packet));
@@ -203,13 +203,13 @@ void ReuniteRouter::on_tree(Packet&& packet) {
   }
   if (it == channels_.end() || !it->second.mct) {
     channels_[ch].mct = Mct{r, SoftEntry{config_, now()}};
-    ++structural_changes_;
+    note_structural(ch, 1);
   } else if (it->second.mct->target == r) {
     it->second.mct->state.refresh(config_, now());
   } else if (it->second.mct->state.stale(now())) {
     it->second.mct->target = r;
     it->second.mct->state.refresh(config_, now());
-    ++structural_changes_;
+    note_structural(ch, 1);
   }
   // else: a second flow through a non-branching router is NOT recorded —
   // REUNITE only branches on join interception (Fig. 3's pathology).

@@ -53,11 +53,30 @@ class ReuniteRouter : public net::ProtocolAgent {
     return structural_changes_;
   }
 
+  /// The same counter restricted to one channel (multi-channel sessions
+  /// report per-handle stability; the total stays the cross-channel sum).
+  [[nodiscard]] std::uint64_t structural_changes(
+      const net::Channel& ch) const {
+    const auto it = structural_by_channel_.find(ch);
+    return it == structural_by_channel_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::unordered_map<net::Channel, std::uint64_t>&
+  structural_by_channel() const noexcept {
+    return structural_by_channel_;
+  }
+
  private:
   void on_join(net::Packet&& packet);
   void on_tree(net::Packet&& packet);
   void on_data(net::Packet&& packet);
   void purge(const net::Channel& ch);
+
+  /// Records `n` structural changes against `ch` (and the global total).
+  void note_structural(const net::Channel& ch, std::uint64_t n) {
+    if (n == 0) return;
+    structural_changes_ += n;
+    structural_by_channel_[ch] += n;
+  }
 
   [[nodiscard]] Time now() const { return simulator().now(); }
 
@@ -70,6 +89,7 @@ class ReuniteRouter : public net::ProtocolAgent {
   /// but never mutate state (stale-straggler rejection under reordering).
   std::unordered_map<net::Channel, std::uint32_t> seen_wave_;
   std::uint64_t structural_changes_ = 0;
+  std::unordered_map<net::Channel, std::uint64_t> structural_by_channel_;
 };
 
 }  // namespace hbh::mcast::reunite

@@ -21,7 +21,14 @@ struct Channel {
     return !source.unspecified() && group.valid();
   }
   [[nodiscard]] std::string to_string() const {
-    return "<" + source.to_string() + ", " + group.to_string() + ">";
+    // Built with append() rather than operator+ chains: GCC 12's
+    // -Wrestrict misfires on `literal + std::string&&` under -O3
+    // (GCC PR105329), and the build is -Werror.
+    std::string out;
+    out.reserve(36);
+    out.append("<").append(source.to_string()).append(", ");
+    out.append(group.to_string()).append(">");
+    return out;
   }
 
   friend constexpr bool operator==(const Channel&, const Channel&) = default;

@@ -72,6 +72,13 @@ ProtocolAgent& Network::attach(NodeId n, std::unique_ptr<ProtocolAgent> agent) {
   return *agents_[n.index()];
 }
 
+void Network::adopt(NodeId n, ProtocolAgent& agent) {
+  assert(topo_.contains(n));
+  agent.net_ = this;
+  agent.node_ = n;
+  agent.addr_ = node_address(n);
+}
+
 ProtocolAgent& Network::agent(NodeId n) const {
   assert(topo_.contains(n));
   return *agents_[n.index()];

@@ -135,6 +135,12 @@ class Network {
   /// Returns a reference to the installed agent.
   ProtocolAgent& attach(NodeId n, std::unique_ptr<ProtocolAgent> agent);
 
+  /// Binds `agent` to node `n` (net/self/self_addr) *without* installing it
+  /// as the node's agent. This is how composite agents (e.g. the harness's
+  /// multi-channel source host) give identity to the sub-agents they own
+  /// and dispatch to; the composite itself is attach()ed normally.
+  void adopt(NodeId n, ProtocolAgent& agent);
+
   /// The agent at `n`; every node always has one (default unicast router).
   [[nodiscard]] ProtocolAgent& agent(NodeId n) const;
 

@@ -1,10 +1,17 @@
-// Environment-variable configuration helpers for the bench binaries.
+// Environment-variable configuration helpers.
 //
-// Benches run unattended (`for b in build/bench/*; do $b; done`), so their
-// knobs — trial count, seeds — come from the environment rather than argv:
-// e.g. HBH_TRIALS=500 reruns a figure at the paper's full trial count.
+// Benches and the harness run unattended (`for b in build/bench/*; do $b;
+// done`), so their knobs — trial counts, seeds, worker counts — come from
+// the environment rather than argv: e.g. HBH_TRIALS=500 reruns a figure at
+// the paper's full trial count.
+//
+// Every HBH_* knob the repository reads goes through one of the named
+// accessors below, so this header doubles as the authoritative knob list
+// (mirrored in README "Environment knobs"). Adding a knob means adding an
+// accessor here, not sprinkling another getenv call.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -19,8 +26,43 @@ namespace hbh {
 [[nodiscard]] std::int64_t env_int_or(std::string_view name,
                                       std::int64_t fallback);
 
+/// Reads a floating-point environment variable with a default.
+[[nodiscard]] double env_double_or(std::string_view name, double fallback);
+
 /// Reads a string environment variable with a default.
 [[nodiscard]] std::string env_str_or(std::string_view name,
                                      std::string_view fallback);
+
+// --- The knob table (README "Environment knobs") -------------------------
+
+/// HBH_TRIALS — trials per sweep point (each bench picks its own default).
+[[nodiscard]] std::size_t env_trials(std::size_t fallback);
+
+/// HBH_SEED — base seed for paired trials (default: the SIGCOMM'01 date).
+[[nodiscard]] std::uint64_t env_seed(std::uint64_t fallback = 20010827);
+
+/// HBH_JOBS — trial-pool worker count; 0/unset = all hardware cores,
+/// 1 = the serial path (docs/PERFORMANCE.md).
+[[nodiscard]] std::size_t env_jobs();
+
+/// HBH_CSV — nonzero: benches also print machine-readable CSV.
+[[nodiscard]] bool env_csv();
+
+/// HBH_REPORT — path for the hbh.run_report/v1 JSON; empty = no report.
+[[nodiscard]] std::string env_report_path();
+
+/// HBH_PERF_OUT — path for perf_smoke's JSON artifact.
+[[nodiscard]] std::string env_perf_out(std::string_view fallback);
+
+/// HBH_LOG_LEVEL — trace|debug|info|warn|error; empty = keep default.
+[[nodiscard]] std::string env_log_level();
+
+/// HBH_CHANNELS — largest channel count in ablation_state_scaling's sweep.
+[[nodiscard]] std::size_t env_channels(std::size_t fallback);
+
+/// HBH_CHURN_ON / HBH_CHURN_OFF — mean subscribed / unsubscribed dwell
+/// times (time units) of the churn workload's exponential on/off process.
+[[nodiscard]] double env_churn_on(double fallback);
+[[nodiscard]] double env_churn_off(double fallback);
 
 }  // namespace hbh

@@ -55,11 +55,19 @@ struct LinkId {
 
 inline constexpr LinkId kNoLink{};
 
+// append() instead of `literal + std::string`: GCC 12's -Wrestrict
+// misfires on the operator+ chain under -O3 (GCC PR105329), -Werror.
 [[nodiscard]] inline std::string to_string(NodeId n) {
-  return n.valid() ? "n" + std::to_string(n.v) : "n<invalid>";
+  if (!n.valid()) return "n<invalid>";
+  std::string out{"n"};
+  out.append(std::to_string(n.v));
+  return out;
 }
 [[nodiscard]] inline std::string to_string(LinkId l) {
-  return l.valid() ? "l" + std::to_string(l.v) : "l<invalid>";
+  if (!l.valid()) return "l<invalid>";
+  std::string out{"l"};
+  out.append(std::to_string(l.v));
+  return out;
 }
 
 }  // namespace hbh

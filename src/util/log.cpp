@@ -78,7 +78,7 @@ std::optional<LogLevel> log_level_from_string(std::string_view name) {
 }
 
 void init_log_level_from_env() {
-  const std::string raw = env_str_or("HBH_LOG_LEVEL", "");
+  const std::string raw = env_log_level();
   if (raw.empty()) return;
   if (const auto level = log_level_from_string(raw)) {
     Logger::instance().set_level(*level);

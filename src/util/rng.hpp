@@ -7,6 +7,7 @@
 // and its seeding from a single integer is poor.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,13 @@ class Rng {
 
   /// Bernoulli trial with probability p of returning true.
   [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (rate 1/mean);
+  /// the dwell-time distribution of the churn on/off processes. Requires
+  /// mean > 0. Inverse-CDF on 1-uniform01() ∈ (0,1] so log() never sees 0.
+  [[nodiscard]] double exponential(double mean) noexcept {
+    return -mean * std::log(1.0 - uniform01());
+  }
 
   /// Fisher–Yates shuffle (deterministic given the engine state).
   template <typename T>

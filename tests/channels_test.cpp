@@ -1,0 +1,306 @@
+// Multi-channel Session API tests (docs/CHANNELS.md): ChannelHandle
+// forwarding, cross-channel isolation, many channels per source host,
+// per-channel structural accounting, the per-class aggregate census, and
+// the seeded churn workload's determinism contract.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "harness/churn_plan.hpp"
+#include "harness/session.hpp"
+#include "harness/trial_pool.hpp"
+#include "topo/builders.hpp"
+#include "topo/scenarios.hpp"
+
+namespace hbh::harness {
+namespace {
+
+topo::Scenario from_fig1(const topo::Fig1Scenario& f) {
+  topo::Scenario s;
+  s.topo = f.topo;
+  s.routers = {f.h1, f.h2, f.h3, f.h4, f.h5, f.h6, f.h7};
+  s.hosts = {f.s, f.r1, f.r2, f.r3, f.r4, f.r5, f.r6, f.r7, f.r8};
+  s.source_host = f.s;
+  return s;
+}
+
+void expect_equal(const Measurement& a, const Measurement& b) {
+  EXPECT_EQ(a.tree_cost, b.tree_cost);
+  EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_EQ(a.max_link_copies, b.max_link_copies);
+  EXPECT_EQ(a.missing, b.missing);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.per_link, b.per_link);
+}
+
+std::tuple<std::size_t, std::size_t, std::size_t> census_tuple(
+    const StateCensus& c) {
+  return {c.control_entries, c.forwarding_entries, c.routers_with_state};
+}
+
+// The legacy single-channel surface and the default-channel handle are the
+// same operations: driving two identical sessions through the two surfaces
+// produces byte-identical measurements.
+TEST(ChannelHandleTest, DefaultChannelHandleMatchesLegacySurface) {
+  for (const Protocol proto : all_protocols()) {
+    const auto fig = topo::make_fig1();
+    Session legacy{from_fig1(fig), proto};
+    Session handled{from_fig1(fig), proto};
+    ChannelHandle handle = handled.default_channel();
+    ASSERT_TRUE(handle.valid());
+    EXPECT_EQ(handle.id(), 0u);
+    EXPECT_EQ(handle.channel(), handled.channel());
+    EXPECT_EQ(handle.rp(), handled.rp());
+    EXPECT_EQ(handle.source_host(), fig.s);
+
+    legacy.subscribe(fig.r1);
+    legacy.subscribe(fig.r4, 5);
+    handle.subscribe(fig.r1);
+    handle.subscribe(fig.r4, 5);
+    legacy.run_for(150);
+    handled.run_for(150);
+    EXPECT_EQ(legacy.members(), handle.members());
+    expect_equal(legacy.measure(), handle.measure());
+    EXPECT_EQ(legacy.total_structural_changes(),
+              handled.total_structural_changes());
+  }
+}
+
+// Adding a second channel (its own source host, receivers, churn) must not
+// perturb the first channel at all: same census, same measurement.
+TEST(ChannelIsolationTest, SecondChannelDoesNotPerturbTheFirst) {
+  for (const Protocol proto : all_protocols()) {
+    const auto fig = topo::make_fig1();
+    Session solo{from_fig1(fig), proto};
+    solo.subscribe(fig.r1);
+    solo.subscribe(fig.r2);
+
+    Session duo{from_fig1(fig), proto};
+    duo.subscribe(fig.r1);
+    duo.subscribe(fig.r2);
+    ChannelHandle b = duo.create_channel(fig.r8);
+    b.subscribe(fig.r3);
+    b.subscribe(fig.r5, 20);
+
+    solo.run_for(200);
+    duo.run_for(200);
+
+    EXPECT_EQ(census_tuple(solo.state_census(0)),
+              census_tuple(duo.state_census(0)))
+        << to_string(proto);
+    expect_equal(solo.measure(), duo.default_channel().measure());
+
+    // And the second channel works on its own terms.
+    EXPECT_EQ(b.members(), (std::vector<NodeId>{fig.r3, fig.r5}));
+    const Measurement mb = b.measure();
+    EXPECT_TRUE(mb.delivered_exactly_once()) << to_string(proto);
+  }
+}
+
+// One host can source many channels (the EXPRESS model): each gets a
+// distinct group address, its own member set, and exactly-once delivery.
+TEST(MultiChannelTest, OneHostSourcesManyChannels) {
+  for (const Protocol proto : all_protocols()) {
+    const auto fig = topo::make_fig1();
+    Session session{from_fig1(fig), proto};
+    ChannelHandle a = session.default_channel();
+    ChannelHandle b = session.create_channel(fig.s);
+    ChannelHandle c = session.create_channel(fig.s);
+    EXPECT_EQ(session.channel_count(), 3u);
+    EXPECT_NE(a.channel(), b.channel());
+    EXPECT_NE(b.channel(), c.channel());
+    EXPECT_EQ(b.channel().source, a.channel().source);
+
+    a.subscribe(fig.r1);
+    a.subscribe(fig.r2);
+    b.subscribe(fig.r2);
+    b.subscribe(fig.r6);
+    c.subscribe(fig.r8);
+    session.run_for(220);
+
+    EXPECT_EQ(a.members(), (std::vector<NodeId>{fig.r1, fig.r2}));
+    EXPECT_EQ(b.members(), (std::vector<NodeId>{fig.r2, fig.r6}));
+    EXPECT_EQ(c.members(), (std::vector<NodeId>{fig.r8}));
+    EXPECT_TRUE(a.measure().delivered_exactly_once()) << to_string(proto);
+    EXPECT_TRUE(b.measure().delivered_exactly_once()) << to_string(proto);
+    EXPECT_TRUE(c.measure().delivered_exactly_once()) << to_string(proto);
+  }
+}
+
+// Per-channel structural counters partition the session total, and the
+// all-channel census equals the per-channel censuses summed entry-wise.
+TEST(MultiChannelTest, PerChannelAccountingSumsToSessionTotals) {
+  for (const Protocol proto : {Protocol::kHbh, Protocol::kReunite}) {
+    const auto fig = topo::make_fig1();
+    Session session{from_fig1(fig), proto};
+    ChannelHandle a = session.default_channel();
+    ChannelHandle b = session.create_channel(fig.r8);
+    a.subscribe(fig.r1);
+    a.subscribe(fig.r2);
+    b.subscribe(fig.r3);
+    session.run_for(150);
+    a.unsubscribe(fig.r2);
+    session.run_for(150);
+
+    EXPECT_GT(session.total_structural_changes(), 0u);
+    EXPECT_EQ(a.total_structural_changes() + b.total_structural_changes(),
+              session.total_structural_changes())
+        << to_string(proto);
+
+    const StateCensus ca = a.state_census();
+    const StateCensus cb = b.state_census();
+    const StateCensus total = session.state_census();
+    EXPECT_EQ(ca.control_entries + cb.control_entries, total.control_entries);
+    EXPECT_EQ(ca.forwarding_entries + cb.forwarding_entries,
+              total.forwarding_entries);
+  }
+}
+
+// The per-class census encodes the paper's state-placement claim: for
+// HBH/REUNITE, non-branching routers hold control state only — their
+// forwarding-entry bucket is zero by construction.
+TEST(AggregateCensusTest, NonBranchingRoutersHoldControlOnlyState) {
+  for (const Protocol proto : all_protocols()) {
+    const auto fig = topo::make_fig1();
+    Session session{from_fig1(fig), proto};
+    ChannelHandle b = session.create_channel(fig.r8);
+    for (const NodeId r : {fig.r1, fig.r2, fig.r3, fig.r4}) {
+      session.subscribe(r);
+    }
+    b.subscribe(fig.r5);
+    b.subscribe(fig.r6);
+    session.run_for(200);
+
+    const AggregateCensus agg = session.aggregate_census();
+    // The class buckets partition the totals.
+    EXPECT_EQ(agg.branching.control_entries + agg.non_branching.control_entries +
+                  agg.rp.control_entries,
+              agg.totals.control_entries);
+    EXPECT_EQ(agg.branching.forwarding_entries +
+                  agg.non_branching.forwarding_entries +
+                  agg.rp.forwarding_entries,
+              agg.totals.forwarding_entries);
+    if (proto == Protocol::kHbh || proto == Protocol::kReunite) {
+      EXPECT_EQ(agg.non_branching.forwarding_entries, 0u) << to_string(proto);
+      EXPECT_GT(agg.branching.forwarding_entries, 0u) << to_string(proto);
+      EXPECT_EQ(agg.rp.routers, 0u);
+    }
+    if (proto == Protocol::kPimSm) {
+      EXPECT_GT(agg.rp.routers, 0u);  // the RP serves each channel it roots
+    }
+    // The totals agree with the flat census.
+    EXPECT_EQ(census_tuple(agg.totals), census_tuple(session.state_census()));
+  }
+}
+
+TEST(ChurnPlanTest, GenerationIsDeterministicPerSeed) {
+  const auto fig = topo::make_fig1();
+  const std::vector<NodeId> receivers{fig.r1, fig.r2, fig.r3, fig.r4};
+  ChurnConfig config;
+  config.horizon = 300;
+  const ChurnPlan p1 = ChurnPlan::exponential_on_off(receivers, config, 42);
+  const ChurnPlan p2 = ChurnPlan::exponential_on_off(receivers, config, 42);
+  const ChurnPlan p3 = ChurnPlan::exponential_on_off(receivers, config, 43);
+
+  ASSERT_EQ(p1.events().size(), p2.events().size());
+  for (std::size_t i = 0; i < p1.events().size(); ++i) {
+    EXPECT_EQ(p1.events()[i].at, p2.events()[i].at);
+    EXPECT_EQ(p1.events()[i].host, p2.events()[i].host);
+    EXPECT_EQ(p1.events()[i].join, p2.events()[i].join);
+  }
+  // A different seed produces a different script.
+  bool differs = p1.events().size() != p3.events().size();
+  for (std::size_t i = 0; !differs && i < p1.events().size(); ++i) {
+    differs = p1.events()[i].at != p3.events()[i].at ||
+              p1.events()[i].host != p3.events()[i].host;
+  }
+  EXPECT_TRUE(differs);
+
+  // Events are time-ordered and bounded by the horizon.
+  for (std::size_t i = 1; i < p1.events().size(); ++i) {
+    EXPECT_LE(p1.events()[i - 1].at, p1.events()[i].at);
+  }
+  for (const ChurnEvent& ev : p1.events()) {
+    EXPECT_LT(ev.at, config.horizon);
+  }
+}
+
+TEST(ChurnPlanTest, StartJoinedReceiversJoinAtTimeZero) {
+  const auto fig = topo::make_fig1();
+  ChurnConfig config;
+  config.p_start_joined = 1.0;
+  config.horizon = 100;
+  const ChurnPlan plan =
+      ChurnPlan::exponential_on_off({fig.r1, fig.r2}, config, 7);
+  ASSERT_GE(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].at, 0.0);
+  EXPECT_TRUE(plan.events()[0].join);
+  EXPECT_EQ(plan.events()[1].at, 0.0);
+  EXPECT_TRUE(plan.events()[1].join);
+}
+
+TEST(ChurnPlanTest, ManualPlanDrivesMembership) {
+  const auto fig = topo::make_fig1();
+  Session session{from_fig1(fig), Protocol::kHbh};
+  ChurnPlan plan;
+  plan.join(1, fig.r1).join(2, fig.r2).leave(80, fig.r1);
+  session.default_channel().schedule_churn(plan);
+  session.run_for(50);
+  EXPECT_EQ(session.members(), (std::vector<NodeId>{fig.r1, fig.r2}));
+  session.run_for(100);
+  EXPECT_EQ(session.members(), (std::vector<NodeId>{fig.r2}));
+}
+
+// The churn workload obeys the engine's paired-trial determinism contract:
+// a grid of churned sessions produces the same fingerprints under a serial
+// pool and a 4-worker pool.
+TEST(ChurnPlanTest, ChurnedTrialsAreJobCountInvariant) {
+  using Fingerprint = std::tuple<std::size_t, std::size_t, std::size_t,
+                                 std::uint64_t, std::size_t>;
+  const auto run_grid = [&](std::size_t jobs) {
+    std::vector<Fingerprint> grid(8);
+    TrialPool pool{jobs};
+    pool.run(grid.size(), [&](std::size_t i) {
+      const auto fig = topo::make_fig1();
+      const topo::Scenario scenario = from_fig1(fig);
+      Session session{scenario, i % 2 == 0 ? Protocol::kHbh
+                                           : Protocol::kReunite};
+      ChurnConfig config;
+      config.mean_on = 60;
+      config.mean_off = 30;
+      config.horizon = 250;
+      const std::vector<NodeId> receivers{fig.r1, fig.r2, fig.r3, fig.r5,
+                                          fig.r7};
+      session.default_channel().schedule_churn(
+          ChurnPlan::exponential_on_off(receivers, config, 1000 + i));
+      session.run_for(300);
+      const StateCensus census = session.state_census();
+      grid[i] = {census.control_entries, census.forwarding_entries,
+                 census.routers_with_state,
+                 session.total_structural_changes(),
+                 session.members().size()};
+    });
+    return grid;
+  };
+  EXPECT_EQ(run_grid(1), run_grid(4));
+}
+
+// create_channel on a former receiver host: allowed while unsubscribed,
+// and the new channel is immediately usable mid-simulation.
+TEST(MultiChannelTest, ChannelCreatedAfterStartIsLive) {
+  const auto fig = topo::make_fig1();
+  Session session{from_fig1(fig), Protocol::kHbh};
+  session.subscribe(fig.r1);
+  session.run_for(100);
+  ChannelHandle late = session.create_channel(fig.r8);
+  late.subscribe(fig.r2);
+  session.run_for(120);
+  EXPECT_EQ(late.members(), (std::vector<NodeId>{fig.r2}));
+  EXPECT_TRUE(late.measure().delivered_exactly_once());
+  // The original channel kept working.
+  EXPECT_TRUE(session.measure().delivered_exactly_once());
+}
+
+}  // namespace
+}  // namespace hbh::harness

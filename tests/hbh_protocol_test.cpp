@@ -198,8 +198,8 @@ TEST(HbhFig5Test, SourceMftConvergesToSingleBranchTarget) {
   session.subscribe(fig.r3, 3);
   session.run_for(400);  // well past t2: marked source entries expire
 
-  const auto& source = static_cast<const mcast::hbh::HbhSource&>(
-      session.network().agent(fig.s));
+  const auto& source =
+      static_cast<const mcast::hbh::HbhSource&>(session.source_agent());
   const Time now = session.simulator().now();
   // After convergence the source sends data only toward H1.
   const auto data_targets = source.mft().data_targets(now);
@@ -317,8 +317,8 @@ TEST(HbhDynamicsTest, AllReceiversLeaveTreeDissolves) {
   session.run_for(300);  // everything times out
   const Measurement m = session.measure();
   EXPECT_EQ(m.tree_cost, 0u);  // no members -> no data transmitted
-  const auto& source = static_cast<const mcast::hbh::HbhSource&>(
-      session.network().agent(fig.s));
+  const auto& source =
+      static_cast<const mcast::hbh::HbhSource&>(session.source_agent());
   EXPECT_FALSE(source.has_members());
 }
 

@@ -245,7 +245,7 @@ TEST(ReuniteDynamicsTest, AllLeaveDissolvesTree) {
   const Measurement m = session.measure();
   EXPECT_EQ(m.tree_cost, 0u);
   const auto& source = static_cast<const mcast::reunite::ReuniteSource&>(
-      session.network().agent(fig.s));
+      session.source_agent());
   EXPECT_FALSE(source.has_members());
 }
 

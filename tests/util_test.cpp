@@ -142,6 +142,19 @@ TEST(RngTest, UniformMeanIsCentered) {
   EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
 }
 
+TEST(RngTest, ExponentialIsPositiveWithTheRequestedMean) {
+  Rng rng{17};
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  constexpr double kMean = 60.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.exponential(kMean);
+    ASSERT_GT(v, 0.0);  // inverse-CDF on (0,1]: log never sees 0
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, kMean, 2.0);
+}
+
 TEST(RngTest, ShuffleIsPermutation) {
   Rng rng{5};
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
