@@ -31,6 +31,7 @@
 #include "harness/trial_pool.hpp"
 #include "metrics/json.hpp"
 #include "metrics/report.hpp"
+#include "metrics/tracer.hpp"
 #include "topo/random.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
@@ -217,12 +218,17 @@ void write_report(const std::string& path,
   for (const Protocol proto : protocols) {
     auto session = make_session(proto, channel_counts.back(), 0, w);
     session->enable_telemetry();
+    session->enable_tracing();
     session->run_for(kHorizon);
 
+    const metrics::ConvergenceSummary convergence =
+        metrics::analyze_convergence(session->tracer()->spans());
     metrics::RunReport report;
     report.registry = session->registry();
     report.sampler = session->sampler();
     report.trace = session->trace();
+    report.tracer = session->tracer();
+    report.convergence = &convergence;
     report.info["protocol"] = std::string(to_string(proto));
     report.info["topology"] = "random-50";
     report.numbers["channels"] =

@@ -4,9 +4,15 @@
 # (binary path) and -DOUT (report path).
 # Optional -DEXTRA_ENV=VAR=value adds one more environment setting (the
 # state-scaling check caps its channel sweep this way).
+# Optional -DTRACE_OUT=path also sets HBH_TRACE_OUT and schema-checks the
+# resulting Perfetto trace (hbh.trace/v1).
+set(trace_env "")
+if(TRACE_OUT)
+  set(trace_env "HBH_TRACE_OUT=${TRACE_OUT}")
+endif()
 execute_process(
-  COMMAND ${CMAKE_COMMAND} -E env HBH_TRIALS=2 "HBH_REPORT=${OUT}" ${EXTRA_ENV}
-    ${BENCH}
+  COMMAND ${CMAKE_COMMAND} -E env HBH_TRIALS=2 "HBH_REPORT=${OUT}"
+    ${trace_env} ${EXTRA_ENV} ${BENCH}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE bench_stdout
   ERROR_VARIABLE bench_stderr)
@@ -22,7 +28,10 @@ file(READ "${OUT}" doc)
 foreach(needle
     "\"schema\"" "hbh.run_report/v1" "\"sweep\"" "\"runs\"" "\"HBH\""
     "\"counters\"" "\"net.tx.tree\"" "\"gauges\"" "\"series\""
-    "\"state.forwarding_entries\"" "\"messages\"" "\"wall_seconds\"")
+    "\"state.forwarding_entries\"" "\"messages\"" "\"messages_dropped\""
+    "\"p50\"" "\"p95\"" "\"p99\"" "\"trace\"" "hbh.trace/v1"
+    "\"convergence\"" "\"grafts\"" "\"mean_join_to_first_delivery\""
+    "\"wall_seconds\"")
   string(FIND "${doc}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "report ${OUT} is missing ${needle}")
@@ -30,3 +39,20 @@ foreach(needle
 endforeach()
 
 message(STATUS "report OK: ${OUT}")
+
+if(TRACE_OUT)
+  if(NOT EXISTS "${TRACE_OUT}")
+    message(FATAL_ERROR "HBH_TRACE_OUT=${TRACE_OUT} was not written")
+  endif()
+  file(READ "${TRACE_OUT}" trace_doc)
+  foreach(needle
+      "hbh.trace/v1" "\"traceEvents\"" "\"displayTimeUnit\""
+      "\"thread_name\"" "\"process_name\"" "\"spans_recorded\""
+      "\"ph\":\"X\"" "\"subscribe\"" "tx:tree")
+    string(FIND "${trace_doc}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "trace ${TRACE_OUT} is missing ${needle}")
+    endif()
+  endforeach()
+  message(STATUS "trace OK: ${TRACE_OUT}")
+endif()

@@ -66,6 +66,16 @@ inline int run_figure(const char* figure, const char* paper_caption,
       return 1;
     }
   }
+  const std::string trace_out = env_trace_out();
+  if (!trace_out.empty()) {
+    if (harness::write_trace_file(spec, figure, trace_out)) {
+      std::printf("trace: %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write HBH_TRACE_OUT=%s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -75,17 +85,22 @@ inline int run_figure(const char* figure, const char* paper_caption,
 inline void maybe_write_bench_report(
     const char* name, harness::TopoKind topology,
     const harness::SessionHook& customize = {}) {
-  const std::string path = env_report_path();
-  if (path.empty()) return;
   const harness::ExperimentSpec spec = spec_from_env(topology);
-  std::vector<harness::SweepResult> results;
-  for (const harness::Protocol p : harness::all_protocols()) {
-    results.push_back(harness::SweepResult{p, {}});
+  const std::string path = env_report_path();
+  if (!path.empty()) {
+    std::vector<harness::SweepResult> results;
+    for (const harness::Protocol p : harness::all_protocols()) {
+      results.push_back(harness::SweepResult{p, {}});
+    }
+    if (harness::write_run_report(spec, results, name, path, customize)) {
+      std::printf("report: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write HBH_REPORT=%s\n",
+                   path.c_str());
+    }
   }
-  if (harness::write_run_report(spec, results, name, path, customize)) {
-    std::printf("report: %s\n", path.c_str());
-  } else {
-    std::fprintf(stderr, "error: cannot write HBH_REPORT=%s\n", path.c_str());
+  if (harness::maybe_write_trace_from_env(spec, name, customize)) {
+    std::printf("trace: %s\n", env_trace_out().c_str());
   }
 }
 

@@ -316,14 +316,19 @@ bool write_run_report(const ExperimentSpec& spec,
     TrialSetup setup = prepare_trial(spec, sweep.protocol, size, 0);
     Session& session = *setup.session;
     session.enable_telemetry(spec.session.timers.tree_period);
+    session.enable_tracing();
     if (customize) customize(session);
     session.run_for(setup.last_join + spec.warmup);
     const Measurement m = session.measure(spec.drain);
+    const metrics::ConvergenceSummary convergence =
+        metrics::analyze_convergence(session.tracer()->spans());
 
     metrics::RunReport report;
     report.registry = session.registry();
     report.sampler = session.sampler();
     report.trace = session.trace();
+    report.tracer = session.tracer();
+    report.convergence = &convergence;
     report.info["protocol"] = std::string(to_string(sweep.protocol));
     report.info["topology"] = std::string(to_string(spec.topology));
     report.numbers["group_size"] = static_cast<double>(size);
@@ -353,6 +358,36 @@ bool maybe_write_report_from_env(const ExperimentSpec& spec,
   const std::string path = env_report_path();
   if (path.empty()) return false;
   return write_run_report(spec, results, figure, path);
+}
+
+bool write_trace_file(const ExperimentSpec& spec, std::string_view figure,
+                      const std::string& path, const SessionHook& customize) {
+  // One serial instrumented HBH re-run (largest group size, trial 0): the
+  // same cell the report deep-dives. Serial by construction, so the file
+  // is byte-identical at any HBH_JOBS setting.
+  const std::size_t size =
+      spec.group_sizes.empty() ? 2 : spec.group_sizes.back();
+  TrialSetup setup = prepare_trial(spec, Protocol::kHbh, size, 0);
+  Session& session = *setup.session;
+  session.enable_tracing();
+  if (customize) customize(session);
+  session.run_for(setup.last_join + spec.warmup);
+  (void)session.measure(spec.drain);
+
+  std::map<std::string, std::string> info;
+  info["figure"] = std::string(figure);
+  info["protocol"] = std::string(to_string(Protocol::kHbh));
+  info["topology"] = std::string(to_string(spec.topology));
+  info["group_size"] = std::to_string(size);
+  return metrics::write_perfetto_trace(*session.tracer(), info, path);
+}
+
+bool maybe_write_trace_from_env(const ExperimentSpec& spec,
+                                std::string_view figure,
+                                const SessionHook& customize) {
+  const std::string path = env_trace_out();
+  if (path.empty()) return false;
+  return write_trace_file(spec, figure, path, customize);
 }
 
 }  // namespace hbh::harness

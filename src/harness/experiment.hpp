@@ -119,4 +119,19 @@ bool maybe_write_report_from_env(const ExperimentSpec& spec,
                                  const std::vector<SweepResult>& results,
                                  std::string_view figure);
 
+/// Writes a Perfetto/Chrome trace-event JSON (schema hbh.trace/v1) of one
+/// serial instrumented HBH re-run — the largest swept group size, trial 0,
+/// causal tracing enabled. Serial by construction, so the file is
+/// byte-identical at any HBH_JOBS setting. Returns false if the file could
+/// not be created.
+bool write_trace_file(const ExperimentSpec& spec, std::string_view figure,
+                      const std::string& path,
+                      const SessionHook& customize = {});
+
+/// Honors HBH_TRACE_OUT=path.json: writes the trace there and returns
+/// true, or does nothing when the variable is unset.
+bool maybe_write_trace_from_env(const ExperimentSpec& spec,
+                                std::string_view figure,
+                                const SessionHook& customize = {});
+
 }  // namespace hbh::harness

@@ -61,6 +61,10 @@ Measurement ChannelHandle::measure(Time drain) {
   return session_->measure_on(id_, drain);
 }
 
+std::size_t ChannelHandle::inject_data() {
+  return session_->inject_data_on(id_);
+}
+
 std::uint64_t ChannelHandle::total_structural_changes() const {
   return session_->structural_changes_of(id_);
 }
@@ -92,6 +96,7 @@ Session::Session(topo::Scenario scenario, Protocol protocol,
 
 Session::~Session() {
   net_->set_tap(nullptr);  // probe may outlive call frames, not the session
+  net_->set_trace_hook(nullptr);
   if (sampler_) sampler_->stop();
   if (stats_tap_) net_->remove_tap(stats_tap_.get());
   if (trace_) net_->remove_tap(trace_.get());
@@ -116,6 +121,14 @@ net::AgentStats Session::aggregate_agent_stats() const {
     if (it != source_hosts_.end()) add(it->second->sub_stats());
   }
   return total;
+}
+
+metrics::Tracer& Session::enable_tracing(std::size_t capacity) {
+  if (!tracer_) {
+    tracer_ = std::make_unique<metrics::Tracer>(sim_, capacity);
+    net_->set_trace_hook(tracer_.get());
+  }
+  return *tracer_;
 }
 
 metrics::Registry& Session::enable_telemetry(Time sample_period) {
@@ -409,6 +422,13 @@ Measurement Session::measure_on(ChannelId id, Time drain) {
   return m;
 }
 
+std::size_t Session::inject_data_on(ChannelId id) {
+  ChannelState& ch = channels_.at(id);
+  // probe id 0 = untagged: the packet is ordinary traffic, invisible to
+  // any DataProbe a concurrent measure() installs.
+  return ch.send_data(0, ch.next_seq++);
+}
+
 void Session::schedule_churn(ChannelId id, const ChurnPlan& plan) {
   for (const ChurnEvent& ev : plan.events()) {
     if (ev.join) {
@@ -500,9 +520,31 @@ void Session::impair_link(NodeId a, NodeId b,
   net_->set_duplex_impairment(a, b, impairment);
 }
 
+namespace {
+
+std::string_view fault_span_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kLinkDown: return "fault:link-down";
+    case FaultEvent::Kind::kLinkUp: return "fault:link-up";
+    case FaultEvent::Kind::kImpair: return "fault:impair";
+    case FaultEvent::Kind::kClearImpairments: return "fault:clear-impairments";
+    case FaultEvent::Kind::kCrash: return "fault:crash";
+    case FaultEvent::Kind::kRestart: return "fault:restart";
+  }
+  return "fault";
+}
+
+}  // namespace
+
 void Session::schedule_faults(const FaultPlan& plan) {
   for (const FaultEvent& ev : plan.events()) {
     sim_.schedule(ev.after, [this, ev] {
+      // Externally-injected faults are causal roots too: the span itself
+      // has no packet to ride, but it anchors the event on the timeline
+      // next to the protocol reactions it provokes.
+      if (net::TraceHook* hook = net_->trace_hook(); hook != nullptr) {
+        hook->root(fault_span_name(ev.kind), ev.a, net::Channel{}, kNoAddr);
+      }
       switch (ev.kind) {
         case FaultEvent::Kind::kLinkDown:
           set_link_down(ev.a, ev.b);

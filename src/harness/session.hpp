@@ -30,6 +30,7 @@
 #include "metrics/registry.hpp"
 #include "metrics/sampler.hpp"
 #include "metrics/trace.hpp"
+#include "metrics/tracer.hpp"
 #include "net/network.hpp"
 #include "routing/unicast.hpp"
 #include "sim/simulator.hpp"
@@ -134,6 +135,12 @@ class ChannelHandle {
   /// carry unique ids, so measuring one channel never pollutes another's
   /// measurement.
   Measurement measure(Time drain = 150);
+
+  /// Emits one unmeasured data packet from this channel's source (a plain
+  /// traffic round: no probe tap, no drain). Returns the number of copies
+  /// the source sent. With tracing enabled the emission opens a "data"
+  /// root span whose replication fan-out and deliveries are descendants.
+  std::size_t inject_data();
 
   /// Structural table changes attributed to this channel (HBH/REUNITE).
   [[nodiscard]] std::uint64_t total_structural_changes() const;
@@ -304,6 +311,22 @@ class Session {
   /// costs nothing on the packet path — unless this is called.
   metrics::Registry& enable_telemetry(Time sample_period = 10.0);
 
+  /// Switches causal tracing on: installs a metrics::Tracer as the
+  /// network's trace hook. Every subscribe/unsubscribe, tree round, data
+  /// emission, and fault event then opens a root span; the context rides
+  /// in packets hop by hop, so retransmissions, table mutations, drops,
+  /// and deliveries become causally-parented child spans. Span ids are
+  /// allocated in simulation-event order, so two identical runs produce
+  /// identical traces. Idempotent; free on the packet path unless called
+  /// (and fully compiled out under HBH_NO_TELEMETRY).
+  metrics::Tracer& enable_tracing(std::size_t capacity = 1u << 20);
+
+  /// Null until enable_tracing() is called.
+  [[nodiscard]] metrics::Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const metrics::Tracer* tracer() const noexcept {
+    return tracer_.get();
+  }
+
   /// Null until enable_telemetry() is called.
   [[nodiscard]] metrics::Registry* registry() noexcept {
     return registry_.get();
@@ -353,6 +376,7 @@ class Session {
   void unsubscribe_on(ChannelId id, NodeId host, Time delay);
   [[nodiscard]] std::vector<NodeId> members_of(ChannelId id) const;
   Measurement measure_on(ChannelId id, Time drain);
+  std::size_t inject_data_on(ChannelId id);
   [[nodiscard]] std::uint64_t structural_changes_of(ChannelId id) const;
   void schedule_churn(ChannelId id, const ChurnPlan& plan);
 
@@ -392,6 +416,7 @@ class Session {
   std::unique_ptr<metrics::NetworkStatsTap> stats_tap_;
   std::unique_ptr<metrics::MessageTrace> trace_;
   std::unique_ptr<metrics::StateSampler> sampler_;
+  std::unique_ptr<metrics::Tracer> tracer_;
 };
 
 }  // namespace hbh::harness

@@ -17,6 +17,10 @@ void ReceiverHost::subscribe(const net::Channel& channel, Ipv4Addr root) {
   }
   Subscription sub;
   sub.root = root;
+  // Every membership episode — including each churn re-join — is one trace:
+  // the first join, all periodic refreshes, and everything they trigger
+  // downstream hang off this root span.
+  sub.ctx = trace_root("subscribe", channel, self_addr());
   sub.timer = std::make_unique<sim::PeriodicTimer>(
       simulator(), config_.join_period, [this, channel] {
         count_timer_fire();
@@ -31,6 +35,8 @@ void ReceiverHost::subscribe(const net::Channel& channel, Ipv4Addr root) {
 void ReceiverHost::unsubscribe(const net::Channel& channel) {
   const auto it = subs_.find(channel);
   if (it == subs_.end()) return;
+  const net::TraceContext leave_ctx =
+      trace_root("unsubscribe", channel, self_addr());
   if (style_ == JoinStyle::kPimJoin) {
     // Explicit fast leave: a prune toward the tree root tears down oifs
     // along the way immediately instead of waiting for t2 expiry.
@@ -39,6 +45,7 @@ void ReceiverHost::unsubscribe(const net::Channel& channel) {
     prune.dst = it->second.root;
     prune.channel = channel;
     prune.type = PacketType::kPimPrune;
+    prune.trace = leave_ctx;
     prune.payload = net::PimJoinPayload{it->second.root, self_addr()};
     forward(std::move(prune));
   }
@@ -57,6 +64,11 @@ void ReceiverHost::send_refresh(const net::Channel& channel) {
   Packet p;
   p.src = self_addr();
   p.channel = channel;
+  // Each soft-state refresh round is a child span of the subscribe root, so
+  // retransmissions triggered by timer rearming stay causally attached.
+  p.trace = sub.first_sent
+                ? trace_child(sub.ctx, "join-refresh", channel, self_addr())
+                : sub.ctx;
   if (style_ == JoinStyle::kSourceJoin) {
     p.type = PacketType::kJoin;
     p.dst = channel.source;
@@ -88,6 +100,7 @@ void ReceiverHost::handle(Packet&& packet, NodeId from) {
     if (packet.dst == self_addr() || subscribed(packet.channel)) {
       if (subscribed(packet.channel)) {
         const auto& d = packet.data();
+        trace_instant(packet.trace, "deliver", packet.channel, self_addr());
         deliveries_.push_back(Delivery{packet.channel, d.probe, d.seq,
                                        d.sent_at, simulator().now()});
         if (sink_ != nullptr) {

@@ -89,6 +89,7 @@ class ReceiverHost : public net::ProtocolAgent {
   struct Subscription {
     Ipv4Addr root;
     std::unique_ptr<sim::PeriodicTimer> timer;
+    net::TraceContext ctx;  ///< root span of this membership episode
     bool first_sent = false;
     Time last_tree_at = -1;  ///< arrival time of the last tree(S, r); -1 = never
     std::uint32_t last_wave = 0;  ///< highest refresh wave seen; stale

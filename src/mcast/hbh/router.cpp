@@ -59,16 +59,22 @@ void HbhRouter::handle(Packet&& packet, NodeId from) {
   }
 }
 
-void HbhRouter::purge(const net::Channel& ch) {
+void HbhRouter::purge(const net::Channel& ch, const net::TraceContext& ctx) {
   const auto it = channels_.find(ch);
   if (it == channels_.end()) return;
   ChannelState& st = it->second;
+  const bool tracing = ctx.active() && net().trace_hook() != nullptr;
   if (st.mct && st.mct->state.dead(now())) {
+    if (tracing) trace_instant(ctx, "evict", ch, st.mct->target);
     st.mct.reset();
     note_structural(ch, 1);
   }
   if (st.mft) {
-    note_structural(ch, st.mft->purge(now()));
+    std::vector<Ipv4Addr> evicted;
+    note_structural(ch, st.mft->purge(now(), tracing ? &evicted : nullptr));
+    for (const Ipv4Addr target : evicted) {
+      trace_instant(ctx, "evict", ch, target);
+    }
     if (st.mft->empty()) {
       st.mft.reset();
       note_structural(ch, 1);
@@ -77,24 +83,27 @@ void HbhRouter::purge(const net::Channel& ch) {
   if (!st.mct && !st.mft) channels_.erase(it);
 }
 
-void HbhRouter::send_self_join(const net::Channel& ch) {
+void HbhRouter::send_self_join(const net::Channel& ch,
+                               const net::TraceContext& ctx) {
   Packet join;
   join.src = self_addr();
   join.dst = ch.source;
   join.channel = ch;
   join.type = PacketType::kJoin;
+  join.trace = ctx;
   join.payload = net::JoinPayload{self_addr(), /*first=*/false};
   forward(std::move(join));
 }
 
 void HbhRouter::send_fusion(const net::Channel& ch, Mft& mft,
-                            Ipv4Addr upstream) {
+                            Ipv4Addr upstream, const net::TraceContext& ctx) {
   if (upstream.unspecified()) upstream = ch.source;
   Packet fusion;
   fusion.src = self_addr();
   fusion.dst = upstream;
   fusion.channel = ch;
   fusion.type = PacketType::kFusion;
+  fusion.trace = ctx;
   fusion.payload = net::FusionPayload{mft.live_targets(now()), self_addr()};
   log(LogLevel::kDebug, to_string(self()), " fusion -> ", upstream.to_string(),
       " ", mft.to_string(now()));
@@ -105,7 +114,7 @@ void HbhRouter::on_join(Packet&& packet) {
   const net::Channel ch = packet.channel;
   const net::JoinPayload join = packet.join();
   if (packet.dst == self_addr()) return;  // joins are addressed to sources
-  purge(ch);
+  purge(ch, packet.trace);
 
   // §3.1: the first join must reach the source so it can start emitting
   // tree(S, R) messages along the shortest path S -> R.
@@ -118,9 +127,10 @@ void HbhRouter::on_join(Packet&& packet) {
         // refresh keeps t1/t2 alive so tree messages keep flowing to R).
         entry->refresh(config_, now());
         ++joins_intercepted_;
+        trace_instant(packet.trace, "join-intercept", ch, join.receiver);
         log(LogLevel::kTrace, to_string(self()), " intercepts join(",
             join.receiver.to_string(), ")");
-        send_self_join(ch);
+        send_self_join(ch, packet.trace);
         return;
       }
     }
@@ -132,7 +142,7 @@ void HbhRouter::on_join(Packet&& packet) {
 void HbhRouter::on_tree(Packet&& packet) {
   const net::Channel ch = packet.channel;
   const net::TreePayload tree = packet.tree();
-  purge(ch);
+  purge(ch, packet.trace);
 
   // Stale-straggler rejection: a reordered tree from an earlier refresh
   // wave must not refresh, install, or re-anchor state that a newer wave
@@ -174,6 +184,7 @@ void HbhRouter::on_tree(Packet&& packet) {
         out.dst = target;
         out.channel = ch;
         out.type = PacketType::kTree;
+        out.trace = packet.trace;  // re-emissions fan out of the same chain
         out.payload = net::TreePayload{target, false, self_addr(), tree.wave};
         forward(std::move(out));
       }
@@ -188,12 +199,13 @@ void HbhRouter::on_tree(Packet&& packet) {
       // T3: B no longer gets join(S,R) directly — keep the entry alive via
       // the passing tree message and remind upstream we duplicate for R.
       entry->refresh(config_, now());
-      send_fusion(ch, mft, tree.last_branch);
+      send_fusion(ch, mft, tree.last_branch, packet.trace);
     } else {
       // T2: a new receiver whose path crosses this branching node.
       mft.upsert(r, config_, now());
       note_structural(ch, 1);
-      send_fusion(ch, mft, tree.last_branch);
+      trace_instant(packet.trace, "mft-insert", ch, r);
+      send_fusion(ch, mft, tree.last_branch, packet.trace);
     }
     packet.tree().last_branch = self_addr();
     forward(std::move(packet));
@@ -206,6 +218,7 @@ void HbhRouter::on_tree(Packet&& packet) {
     ChannelState& st = channels_[ch];
     st.mct = Mct{r, SoftEntry{config_, now()}};
     note_structural(ch, 1);
+    trace_instant(packet.trace, "mct-install", ch, r);
     forward(std::move(packet));
     return;
   }
@@ -222,6 +235,7 @@ void HbhRouter::on_tree(Packet&& packet) {
     mct.target = r;
     mct.state.refresh(config_, now());
     note_structural(ch, 1);
+    trace_instant(packet.trace, "mct-adopt", ch, r);
     forward(std::move(packet));
     return;
   }
@@ -234,9 +248,10 @@ void HbhRouter::on_tree(Packet&& packet) {
   st.mft->upsert(previous, config_, now());
   st.mft->upsert(r, config_, now());
   note_structural(ch, 2);
+  trace_instant(packet.trace, "branching", ch, r);
   log(LogLevel::kDebug, to_string(self()), " becomes branching for ",
       ch.to_string(), " ", st.mft->to_string(now()));
-  send_fusion(ch, *st.mft, tree.last_branch);
+  send_fusion(ch, *st.mft, tree.last_branch, packet.trace);
   packet.tree().last_branch = self_addr();
   forward(std::move(packet));
 }
@@ -248,7 +263,7 @@ void HbhRouter::on_fusion(Packet&& packet) {
     forward(std::move(packet));
     return;
   }
-  purge(ch);
+  purge(ch, packet.trace);
   const auto it = channels_.find(ch);
   if (it == channels_.end() || !it->second.mft) {
     // Fusion addressed to a node that lost its MFT (raced with expiry);
@@ -264,7 +279,7 @@ void HbhRouter::on_data(Packet&& packet) {
     forward(std::move(packet));  // transit data: plain unicast
     return;
   }
-  purge(ch);
+  purge(ch, packet.trace);
   const auto it = channels_.find(ch);
   if (it == channels_.end() || !it->second.mft) {
     log(LogLevel::kDebug, to_string(self()),

@@ -83,14 +83,19 @@ class HbhRouter : public net::ProtocolAgent {
   void on_data(net::Packet&& packet);
 
   /// Sends join(S, B) toward the source (a branching router joining the
-  /// channel itself at the next upstream branching router).
-  void send_self_join(const net::Channel& ch);
+  /// channel itself at the next upstream branching router). `ctx` is the
+  /// causal parent — the span of the join that triggered the interception.
+  void send_self_join(const net::Channel& ch, const net::TraceContext& ctx);
 
-  /// Sends fusion(S, <all live MFT targets>) addressed to `upstream`.
-  void send_fusion(const net::Channel& ch, Mft& mft, Ipv4Addr upstream);
+  /// Sends fusion(S, <all live MFT targets>) addressed to `upstream`,
+  /// causally parented on the tree message that triggered it.
+  void send_fusion(const net::Channel& ch, Mft& mft, Ipv4Addr upstream,
+                   const net::TraceContext& ctx);
 
-  /// Lazily purges dead state for the channel; drops empty tables.
-  void purge(const net::Channel& ch);
+  /// Lazily purges dead state for the channel; drops empty tables. Evicted
+  /// targets are traced as "evict" instants under `ctx` (the span of the
+  /// packet whose arrival triggered the purge).
+  void purge(const net::Channel& ch, const net::TraceContext& ctx = {});
 
   /// Records `n` structural changes against `ch` (and the global total).
   void note_structural(const net::Channel& ch, std::uint64_t n) {

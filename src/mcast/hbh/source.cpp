@@ -17,7 +17,16 @@ void HbhSource::start() {
 void HbhSource::emit_tree_round() {
   count_timer_fire();
   const Time now = simulator().now();
-  mft_.purge(now);
+  // Each refresh wave is one source-emission root: every tree message it
+  // sends, every re-emission/fusion downstream, and every eviction the
+  // round's purge performs are causal descendants of this span.
+  const net::TraceContext ctx =
+      trace_root("tree-round", channel_, self_addr());
+  std::vector<Ipv4Addr> evicted;
+  mft_.purge(now, ctx.active() ? &evicted : nullptr);
+  for (const Ipv4Addr target : evicted) {
+    trace_instant(ctx, "evict", channel_, target);
+  }
   ++wave_;
   for (const Ipv4Addr target : mft_.tree_targets(now)) {
     Packet tree;
@@ -25,6 +34,7 @@ void HbhSource::emit_tree_round() {
     tree.dst = target;
     tree.channel = channel_;
     tree.type = PacketType::kTree;
+    tree.trace = ctx;
     tree.payload = net::TreePayload{target, false, self_addr(), wave_};
     forward(std::move(tree));
   }
@@ -41,17 +51,26 @@ void HbhSource::handle(Packet&& packet, NodeId from) {
     case PacketType::kJoin: {
       // Full refresh; a new receiver gets a fresh entry and will receive
       // tree(S, R) from the next round onward.
+      if (!mft_.contains(packet.join().receiver)) {
+        trace_instant(packet.trace, "mft-insert", channel_,
+                      packet.join().receiver);
+      }
       SoftEntry& entry = mft_.upsert(packet.join().receiver, config_, now);
       (void)entry;  // marked flag (if any) survives the refresh
       log(LogLevel::kTrace, "source accepts join(",
           packet.join().receiver.to_string(), ")");
       return;
     }
-    case PacketType::kFusion:
-      mft_.purge(now);
+    case PacketType::kFusion: {
+      std::vector<Ipv4Addr> evicted;
+      mft_.purge(now, packet.trace.active() ? &evicted : nullptr);
+      for (const Ipv4Addr target : evicted) {
+        trace_instant(packet.trace, "evict", channel_, target);
+      }
       apply_fusion(mft_, packet.fusion(), config_, now);
       log(LogLevel::kDebug, "source MFT after fusion: ", mft_.to_string(now));
       return;
+    }
     case PacketType::kTree:
     case PacketType::kData:
     case PacketType::kPimJoin:
@@ -62,7 +81,14 @@ void HbhSource::handle(Packet&& packet, NodeId from) {
 
 std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq) {
   const Time now = simulator().now();
-  mft_.purge(now);
+  // One emission = one root span; the replication fan-out downstream and
+  // the final deliveries all trace back here.
+  const net::TraceContext ctx = trace_root("data", channel_, self_addr());
+  std::vector<Ipv4Addr> evicted;
+  mft_.purge(now, ctx.active() ? &evicted : nullptr);
+  for (const Ipv4Addr target : evicted) {
+    trace_instant(ctx, "evict", channel_, target);
+  }
   const auto targets = mft_.data_targets(now);
   for (const Ipv4Addr target : targets) {
     Packet data;
@@ -70,6 +96,7 @@ std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq) {
     data.dst = target;
     data.channel = channel_;
     data.type = PacketType::kData;
+    data.trace = ctx;
     data.payload = net::DataPayload{probe, seq, now, false};
     forward(std::move(data));
   }

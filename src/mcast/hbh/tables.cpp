@@ -18,10 +18,11 @@ SoftEntry& Mft::upsert(Ipv4Addr target, const McastConfig& cfg, Time now) {
   return it->second;
 }
 
-std::size_t Mft::purge(Time now) {
+std::size_t Mft::purge(Time now, std::vector<Ipv4Addr>* evicted) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.dead(now)) {
+      if (evicted != nullptr) evicted->push_back(it->first);
       it = entries_.erase(it);
       ++removed;
     } else {

@@ -48,8 +48,9 @@ class Mft {
   /// Inserts a fresh entry (or fully refreshes an existing one).
   SoftEntry& upsert(Ipv4Addr target, const McastConfig& cfg, Time now);
 
-  /// Removes entries whose t2 expired. Returns number removed.
-  std::size_t purge(Time now);
+  /// Removes entries whose t2 expired. Returns number removed; when
+  /// `evicted` is non-null (tracing) the removed targets are appended.
+  std::size_t purge(Time now, std::vector<Ipv4Addr>* evicted = nullptr);
 
   void erase(Ipv4Addr target) { entries_.erase(target); }
 

@@ -19,12 +19,18 @@ std::vector<NodeId> PimRouter::oifs(const net::Channel& ch) const {
   return out;
 }
 
-void PimRouter::purge(const net::Channel& ch) {
+void PimRouter::purge(const net::Channel& ch, const net::TraceContext& ctx) {
   const auto it = groups_.find(ch);
   if (it == groups_.end()) return;
+  const bool tracing = ctx.active() && net().trace_hook() != nullptr;
   auto& oifs = it->second.oifs;
   for (auto e = oifs.begin(); e != oifs.end();) {
-    e = e->second.dead(now()) ? oifs.erase(e) : std::next(e);
+    if (e->second.dead(now())) {
+      if (tracing) trace_instant(ctx, "evict", ch);
+      e = oifs.erase(e);
+    } else {
+      e = std::next(e);
+    }
   }
   if (oifs.empty()) groups_.erase(it);
 }
@@ -50,7 +56,7 @@ void PimRouter::handle(Packet&& packet, NodeId from) {
 
 void PimRouter::on_prune(Packet&& packet, NodeId from) {
   const net::Channel ch = packet.channel;
-  purge(ch);
+  purge(ch, packet.trace);
   const auto it = groups_.find(ch);
   if (it == groups_.end()) {
     // No local state (already expired): let the prune keep travelling so
@@ -62,7 +68,9 @@ void PimRouter::on_prune(Packet&& packet, NodeId from) {
   // Explicit fast leave: tear down the oif the prune arrived on. If other
   // receivers share that oif, their next periodic join (<= one period)
   // re-installs it — the standard PIM prune-override compromise.
-  it->second.oifs.erase(from);
+  if (it->second.oifs.erase(from) != 0) {
+    trace_instant(packet.trace, "oif-prune", ch, packet.pim_join().receiver);
+  }
   if (it->second.oifs.empty()) {
     groups_.erase(it);
     // The branch below us is gone entirely: keep pruning upstream unless
@@ -75,7 +83,7 @@ void PimRouter::on_prune(Packet&& packet, NodeId from) {
 
 void PimRouter::on_join(Packet&& packet, NodeId from) {
   const net::Channel ch = packet.channel;
-  purge(ch);
+  purge(ch, packet.trace);
   if (!from.valid()) {
     // Self-originated (shouldn't happen for routers); just forward.
     forward(std::move(packet));
@@ -86,6 +94,7 @@ void PimRouter::on_join(Packet&& packet, NodeId from) {
   auto [it, inserted] = st.oifs.try_emplace(from, config_, now());
   if (!inserted) it->second.refresh(config_, now());
   if (inserted) {
+    trace_instant(packet.trace, "oif-install", ch, packet.pim_join().receiver);
     log(LogLevel::kTrace, to_string(self()), " PIM oif += ", to_string(from),
         " for ", ch.to_string());
   }
@@ -105,7 +114,7 @@ void PimRouter::replicate(const net::Channel& ch, const Packet& packet,
 
 void PimRouter::on_data(Packet&& packet, NodeId from) {
   const net::Channel ch = packet.channel;
-  purge(ch);
+  purge(ch, packet.trace);
   if (packet.data().encapsulated && packet.dst == self_addr()) {
     // We are the RP: decapsulate the register-tunnelled packet and inject
     // it into the shared tree (group-addressed from here on).

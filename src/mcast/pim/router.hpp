@@ -41,7 +41,9 @@ class PimRouter : public net::ProtocolAgent {
   void on_join(net::Packet&& packet, NodeId from);
   void on_prune(net::Packet&& packet, NodeId from);
   void on_data(net::Packet&& packet, NodeId from);
-  void purge(const net::Channel& ch);
+  /// Lazily drops dead oifs; each one becomes an "evict" instant under
+  /// `ctx` (the span of the packet whose arrival triggered the purge).
+  void purge(const net::Channel& ch, const net::TraceContext& ctx = {});
 
   /// Replicates `packet` to every live oif except `skip`.
   void replicate(const net::Channel& ch, const net::Packet& packet,

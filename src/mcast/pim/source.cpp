@@ -21,6 +21,9 @@ std::size_t PimSource::send_data(std::uint64_t probe, std::uint32_t seq) {
   data.src = self_addr();
   data.channel = channel_;
   data.type = PacketType::kData;
+  // One emission = one root span; RP decapsulation and oif replication
+  // downstream inherit it via the packet context.
+  data.trace = trace_root("data", channel_, self_addr());
 
   if (mode_ == PimMode::kSharedTree) {
     assert(!rp_.unspecified());

@@ -38,23 +38,30 @@ void ReuniteRouter::handle(Packet&& packet, NodeId from) {
   }
 }
 
-void ReuniteRouter::purge(const net::Channel& ch) {
+void ReuniteRouter::purge(const net::Channel& ch,
+                          const net::TraceContext& ctx) {
   const auto it = channels_.find(ch);
   if (it == channels_.end()) return;
   ChannelState& st = it->second;
+  const bool tracing = ctx.active() && net().trace_hook() != nullptr;
   if (st.mct && st.mct->state.dead(now())) {
+    if (tracing) trace_instant(ctx, "evict", ch, st.mct->target);
     st.mct.reset();
     note_structural(ch, 1);
   }
   if (st.mft) {
     const std::size_t before = st.mft->entries.size();
     const Ipv4Addr dst_before = st.mft->dst;
-    if (st.mft->purge(now())) {
+    std::vector<Ipv4Addr> evicted;
+    if (st.mft->purge(now(), tracing ? &evicted : nullptr)) {
       st.mft.reset();
       note_structural(ch, 1);
     } else {
       note_structural(ch, before - st.mft->entries.size());
       if (st.mft->dst != dst_before) note_structural(ch, 1);
+    }
+    for (const Ipv4Addr target : evicted) {
+      trace_instant(ctx, "evict", ch, target);
     }
   }
   if (!st.mct && !st.mft) channels_.erase(it);
@@ -69,7 +76,7 @@ void ReuniteRouter::on_join(Packet&& packet) {
   // anchor (ultimately the source's dst/entry for it), which is what keeps
   // the root's soft state alive.
   const bool fresh = packet.join().fresh;
-  purge(ch);
+  purge(ch, packet.trace);
   const auto it = channels_.find(ch);
 
   if (it != channels_.end() && it->second.mft) {
@@ -89,6 +96,7 @@ void ReuniteRouter::on_join(Packet&& packet) {
     }
     if (auto entry = mft.entries.find(r); entry != mft.entries.end()) {
       entry->second.refresh(config_, now());
+      trace_instant(packet.trace, "join-intercept", ch, r);
       return;  // intercepted: r joined here
     }
     if (!fresh) {
@@ -97,6 +105,7 @@ void ReuniteRouter::on_join(Packet&& packet) {
     }
     mft.entries.emplace(r, SoftEntry{config_, now()});
     note_structural(ch, 1);
+    trace_instant(packet.trace, "mft-insert", ch, r);
     log(LogLevel::kDebug, to_string(self()), " REUNITE: ", r.to_string(),
         " joins here ", mft.to_string(now()));
     return;
@@ -115,6 +124,7 @@ void ReuniteRouter::on_join(Packet&& packet) {
       st.mct.reset();
       st.mft = std::move(mft);
       note_structural(ch, 2);
+      trace_instant(packet.trace, "branching", ch, r);
       log(LogLevel::kDebug, to_string(self()), " REUNITE becomes branching ",
           st.mft->to_string(now()));
       return;  // join is dropped
@@ -127,7 +137,7 @@ void ReuniteRouter::on_tree(Packet&& packet) {
   const net::Channel ch = packet.channel;
   const net::TreePayload tree = packet.tree();
   const Ipv4Addr r = tree.target;
-  purge(ch);
+  purge(ch, packet.trace);
 
   // Stale-straggler rejection (mirrors HbhRouter::on_tree): a reordered
   // tree from an earlier wave must not refresh a dst another wave already
@@ -181,6 +191,7 @@ void ReuniteRouter::on_tree(Packet&& packet) {
         out.dst = target;
         out.channel = ch;
         out.type = PacketType::kTree;
+        out.trace = packet.trace;  // replicas fan out of the same chain
         out.payload =
             net::TreePayload{target, entry.stale(now()), self_addr(), tree.wave};
         forward(std::move(out));
@@ -194,6 +205,7 @@ void ReuniteRouter::on_tree(Packet&& packet) {
   if (tree.marked) {
     if (it != channels_.end() && it->second.mct &&
         it->second.mct->target == r) {
+      trace_instant(packet.trace, "evict", ch, r);
       it->second.mct.reset();
       note_structural(ch, 1);
       if (!it->second.mft) channels_.erase(it);
@@ -204,12 +216,14 @@ void ReuniteRouter::on_tree(Packet&& packet) {
   if (it == channels_.end() || !it->second.mct) {
     channels_[ch].mct = Mct{r, SoftEntry{config_, now()}};
     note_structural(ch, 1);
+    trace_instant(packet.trace, "mct-install", ch, r);
   } else if (it->second.mct->target == r) {
     it->second.mct->state.refresh(config_, now());
   } else if (it->second.mct->state.stale(now())) {
     it->second.mct->target = r;
     it->second.mct->state.refresh(config_, now());
     note_structural(ch, 1);
+    trace_instant(packet.trace, "mct-adopt", ch, r);
   }
   // else: a second flow through a non-branching router is NOT recorded —
   // REUNITE only branches on join interception (Fig. 3's pathology).

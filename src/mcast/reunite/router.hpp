@@ -69,7 +69,11 @@ class ReuniteRouter : public net::ProtocolAgent {
   void on_join(net::Packet&& packet);
   void on_tree(net::Packet&& packet);
   void on_data(net::Packet&& packet);
-  void purge(const net::Channel& ch);
+
+  /// Lazily purges dead state for the channel; drops empty tables. Evicted
+  /// receivers (including a promoted-over dst) are traced as "evict"
+  /// instants under `ctx` (the span of the triggering packet).
+  void purge(const net::Channel& ch, const net::TraceContext& ctx = {});
 
   /// Records `n` structural changes against `ch` (and the global total).
   void note_structural(const net::Channel& ch, std::uint64_t n) {

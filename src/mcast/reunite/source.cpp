@@ -13,14 +13,26 @@ void ReuniteSource::start() {
   tree_timer_->start();
 }
 
-void ReuniteSource::purge() {
-  if (mft_ && mft_->purge(simulator().now())) mft_.reset();
+void ReuniteSource::purge(const net::TraceContext& ctx) {
+  if (!mft_) return;
+  const bool tracing = ctx.active() && net().trace_hook() != nullptr;
+  std::vector<Ipv4Addr> evicted;
+  if (mft_->purge(simulator().now(), tracing ? &evicted : nullptr)) {
+    mft_.reset();
+  }
+  for (const Ipv4Addr target : evicted) {
+    trace_instant(ctx, "evict", channel_, target);
+  }
 }
 
 void ReuniteSource::emit_tree_round() {
   count_timer_fire();
   const Time now = simulator().now();
-  purge();
+  // One refresh wave = one source-emission root span; replicas downstream
+  // and any evictions this round performs are its causal descendants.
+  const net::TraceContext ctx =
+      trace_root("tree-round", channel_, self_addr());
+  purge(ctx);
   if (!mft_) return;
   ++wave_;
   // tree(S, dst), marked once dst went stale (announces the dying flow).
@@ -30,6 +42,7 @@ void ReuniteSource::emit_tree_round() {
     tree.dst = target;
     tree.channel = channel_;
     tree.type = PacketType::kTree;
+    tree.trace = ctx;
     tree.payload = net::TreePayload{target, marked, self_addr(), wave_};
     forward(std::move(tree));
   };
@@ -47,7 +60,7 @@ void ReuniteSource::handle(Packet&& packet, NodeId from) {
     return;
   }
   if (packet.type != PacketType::kJoin) return;  // only joins reach S
-  purge();
+  purge(packet.trace);
   const Ipv4Addr r = packet.join().receiver;
   if (mft_) {
     if (r == mft_->dst) {
@@ -72,17 +85,22 @@ void ReuniteSource::handle(Packet&& packet, NodeId from) {
     mft_.emplace();
     mft_->dst = r;
     mft_->dst_state = SoftEntry{config_, now};
+    trace_instant(packet.trace, "mft-insert", channel_, r);
     log(LogLevel::kDebug, "REUNITE source dst=", r.to_string());
     return;
   }
   mft_->entries.emplace(r, SoftEntry{config_, now});
+  trace_instant(packet.trace, "mft-insert", channel_, r);
   log(LogLevel::kDebug, "REUNITE source adds ", r.to_string(), " ",
       mft_->to_string(now));
 }
 
 std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq) {
   const Time now = simulator().now();
-  purge();
+  // One emission = one root span; replication fan-out and deliveries all
+  // trace back here.
+  const net::TraceContext ctx = trace_root("data", channel_, self_addr());
+  purge(ctx);
   if (!mft_) return 0;
   std::size_t copies = 0;
   const auto emit = [&](Ipv4Addr target) {
@@ -91,6 +109,7 @@ std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq) {
     data.dst = target;
     data.channel = channel_;
     data.type = PacketType::kData;
+    data.trace = ctx;
     data.payload = net::DataPayload{probe, seq, now, false};
     forward(std::move(data));
     ++copies;

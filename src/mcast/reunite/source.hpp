@@ -33,7 +33,10 @@ class ReuniteSource : public net::ProtocolAgent {
 
  private:
   void emit_tree_round();
-  void purge();
+
+  /// Purges the root MFT; evicted receivers become "evict" instants under
+  /// `ctx` (the tree-round/data/join span that triggered the purge).
+  void purge(const net::TraceContext& ctx = {});
 
   net::Channel channel_;
   McastConfig config_;

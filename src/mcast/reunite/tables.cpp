@@ -2,11 +2,17 @@
 
 namespace hbh::mcast::reunite {
 
-bool Mft::purge(Time now) {
+bool Mft::purge(Time now, std::vector<Ipv4Addr>* evicted) {
   for (auto it = entries.begin(); it != entries.end();) {
-    it = it->second.dead(now) ? entries.erase(it) : std::next(it);
+    if (it->second.dead(now)) {
+      if (evicted != nullptr) evicted->push_back(it->first);
+      it = entries.erase(it);
+    } else {
+      it = std::next(it);
+    }
   }
   if (dst_state.dead(now)) {
+    if (evicted != nullptr) evicted->push_back(dst);
     if (entries.empty()) return true;  // nothing left below: destroy MFT
     // Promote the first live entry: data will now be addressed to it.
     dst = entries.begin()->first;

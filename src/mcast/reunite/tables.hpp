@@ -34,8 +34,10 @@ struct Mft {
 
   /// Removes dead entries; if dst died, promotes the first live entry to
   /// dst (this is the REUNITE route change on departure the paper
-  /// criticizes). Returns true if the whole MFT should be destroyed.
-  bool purge(Time now);
+  /// criticizes). Returns true if the whole MFT should be destroyed. When
+  /// `evicted` is non-null (tracing) the removed receivers are appended —
+  /// including a dead dst, whether promoted over or destroyed.
+  bool purge(Time now, std::vector<Ipv4Addr>* evicted = nullptr);
 
   /// Receivers receiving replicated data copies (all non-dead entries;
   /// stale entries keep receiving data until t2 — §2.3).

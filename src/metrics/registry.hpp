@@ -12,6 +12,7 @@
 //    Registry belongs to one run (harness::Session owns one per session).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -114,6 +115,31 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] double mean() const noexcept {
     return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+  /// Bucket-interpolated quantile estimate, q in [0, 1]. Within a bucket
+  /// the mass is assumed uniform between the adjacent bounds (the first
+  /// bucket starts at 0); observations in the overflow bucket clamp to the
+  /// last bound, since its upper edge is unknown. 0 on an empty histogram.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (total_ == 0 || bounds_.empty()) return 0.0;
+    const double rank = q * static_cast<double>(total_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const std::uint64_t next = cumulative + counts_[i];
+      if (static_cast<double>(next) >= rank) {
+        if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        const double hi = bounds_[i];
+        const double within =
+            (rank - static_cast<double>(cumulative)) /
+            static_cast<double>(counts_[i]);
+        return lo + (hi - lo) * std::min(std::max(within, 0.0), 1.0);
+      }
+      cumulative = next;
+    }
+    return bounds_.back();
   }
 
  private:

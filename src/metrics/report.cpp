@@ -47,6 +47,9 @@ void RunReport::write_body(JsonWriter& w) const {
         w.end_array();
         w.member("sum", h->sum());
         w.member("count", h->count());
+        w.member("p50", h->quantile(0.50));
+        w.member("p95", h->quantile(0.95));
+        w.member("p99", h->quantile(0.99));
         w.end_object();
       }
       w.end_object();
@@ -90,6 +93,52 @@ void RunReport::write_body(JsonWriter& w) const {
     }
     w.end_object();
     w.member("messages_truncated", trace->truncated());
+    w.member("messages_dropped", trace->dropped());
+  }
+
+  if (tracer != nullptr) {
+    w.key("trace");
+    w.begin_object();
+    w.member("schema", kTraceSchema);
+    w.member("spans_recorded",
+             static_cast<std::uint64_t>(tracer->spans().size()));
+    w.member("spans_dropped", tracer->dropped());
+    w.member("truncated", tracer->truncated());
+    w.end_object();
+  }
+
+  if (convergence != nullptr) {
+    w.key("convergence");
+    w.begin_object();
+    w.key("grafts");
+    w.begin_array();
+    for (const GraftTimeline& g : convergence->grafts) {
+      w.begin_object();
+      w.member("receiver", std::string_view{g.receiver.to_string()});
+      w.member("subscribed_at", g.subscribed_at);
+      w.member("join_to_first_delivery", g.join_to_first_delivery);
+      w.member("control_messages", g.control_messages);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("leaves");
+    w.begin_array();
+    for (const LeaveTimeline& l : convergence->leaves) {
+      w.begin_object();
+      w.member("receiver", std::string_view{l.receiver.to_string()});
+      w.member("unsubscribed_at", l.unsubscribed_at);
+      w.member("leave_to_prune", l.leave_to_prune);
+      w.end_object();
+    }
+    w.end_array();
+    w.member("mean_join_to_first_delivery",
+             convergence->mean_join_to_first_delivery());
+    w.member("mean_leave_to_prune", convergence->mean_leave_to_prune());
+    w.member("mean_control_per_graft",
+             convergence->mean_control_per_graft());
+    w.member("undelivered_grafts",
+             static_cast<std::uint64_t>(convergence->undelivered_grafts()));
+    w.end_object();
   }
 }
 

@@ -16,6 +16,7 @@
 #include "metrics/registry.hpp"
 #include "metrics/sampler.hpp"
 #include "metrics/trace.hpp"
+#include "metrics/tracer.hpp"
 
 namespace hbh::metrics {
 
@@ -31,6 +32,8 @@ struct RunReport {
   const Registry* registry = nullptr;
   const StateSampler* sampler = nullptr;
   const MessageTrace* trace = nullptr;
+  const Tracer* tracer = nullptr;                 ///< causal span summary
+  const ConvergenceSummary* convergence = nullptr;
 
   /// Writes the report's keys into an already-open JSON object — lets a
   /// caller embed several runs in one document (harness::write_run_report).

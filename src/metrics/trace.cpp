@@ -13,6 +13,7 @@ void MessageTrace::on_transmit(const net::Topology::Edge& edge,
                                const net::Packet& packet, Time now) {
   if (records_.size() >= capacity_) {
     truncated_ = true;
+    ++dropped_;
     return;
   }
   TraceRecord rec;

@@ -43,10 +43,13 @@ class MessageTrace : public net::PacketTap {
     return records_;
   }
   [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  /// Transmissions that arrived after capacity was reached (not recorded).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   void clear() {
     records_.clear();
     bytes_.clear();  // parallel to records_ — must reset together
     truncated_ = false;
+    dropped_ = 0;
   }
 
   /// Records of one type, optionally restricted to [from, to) time.
@@ -69,6 +72,7 @@ class MessageTrace : public net::PacketTap {
   std::vector<TraceRecord> records_;
   std::vector<std::size_t> bytes_;  ///< parallel to records_
   bool truncated_ = false;
+  std::uint64_t dropped_ = 0;  ///< records lost to the capacity cap
 };
 
 /// Renders a measured distribution tree (Measurement::per_link) as an

@@ -34,6 +34,32 @@ void ProtocolAgent::forward(Packet&& packet) {
   net_->send(node_, std::move(packet));
 }
 
+TraceContext ProtocolAgent::trace_root(std::string_view name,
+                                       const Channel& channel,
+                                       Ipv4Addr subject) const {
+  TraceHook* hook = net_->trace_hook();
+  if (hook == nullptr) return TraceContext{};
+  return hook->root(name, node_, channel, subject);
+}
+
+TraceContext ProtocolAgent::trace_child(const TraceContext& parent,
+                                        std::string_view name,
+                                        const Channel& channel,
+                                        Ipv4Addr subject) const {
+  TraceHook* hook = net_->trace_hook();
+  if (hook == nullptr || !parent.active()) return parent;
+  return hook->child(parent, name, node_, channel, subject);
+}
+
+void ProtocolAgent::trace_instant(const TraceContext& parent,
+                                  std::string_view name,
+                                  const Channel& channel,
+                                  Ipv4Addr subject) const {
+  TraceHook* hook = net_->trace_hook();
+  if (hook == nullptr || !parent.active()) return;
+  hook->instant(parent, name, node_, channel, subject);
+}
+
 void ProtocolAgent::deliver_local(Packet&& packet, NodeId from) {
   (void)from;
   ++net_->counters().local_sink;
@@ -188,24 +214,31 @@ void Network::transmit(LinkId link, Packet packet) {
   // honestly include duplicated traffic.
   const NodeId to = edge.to;
   const NodeId from = edge.from;
-  const auto send_copy = [&](const Packet& copy, Time added) {
+  const auto send_copy = [&](Packet copy, Time added) {
     ++counters_.transmissions;
     if (copy.type == PacketType::kData) {
       ++counters_.data_transmissions;
     } else {
       ++counters_.control_transmissions;
     }
+    if (trace_hook_ != nullptr && copy.trace.active()) {
+      // Each wire copy becomes its own transmit span; the in-flight packet
+      // carries that span so the next hop's work parents onto this hop.
+      copy.trace = trace_hook_->on_transmit(edge, copy, sim_.now(),
+                                            sim_.now() + edge.attrs.delay +
+                                                added);
+    }
     if (tap_ != nullptr) tap_->on_transmit(edge, copy, sim_.now());
     for (PacketTap* tap : taps_) tap->on_transmit(edge, copy, sim_.now());
     log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to), " ",
         copy.describe());
     sim_.schedule(edge.attrs.delay + added,
-                  [this, to, from, p = copy]() mutable {
+                  [this, to, from, p = std::move(copy)]() mutable {
                     deliver(to, from, std::move(p));
                   });
   };
   if (duplicate) send_copy(packet, dup_extra_delay);
-  send_copy(packet, extra_delay);
+  send_copy(std::move(packet), extra_delay);
 }
 
 void Network::deliver(NodeId to, NodeId from, Packet packet) {
@@ -223,6 +256,9 @@ void Network::drop(NodeId at, const Packet& packet, std::string_view reason) {
     ++counters_.drops_loss;
   } else {
     ++counters_.drops_no_route;
+  }
+  if (trace_hook_ != nullptr && packet.trace.active()) {
+    trace_hook_->on_drop(at, packet, reason, sim_.now());
   }
   if (tap_ != nullptr) tap_->on_drop(at, packet, reason, sim_.now());
   for (PacketTap* tap : taps_) tap->on_drop(at, packet, reason, sim_.now());

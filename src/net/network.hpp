@@ -83,12 +83,64 @@ class ProtocolAgent {
   /// join refreshes) for the telemetry gauges.
   void count_timer_fire() noexcept { ++stats_.timer_fires; }
 
+  /// Causal-tracing conveniences; all forward to the network's TraceHook
+  /// and degrade to inactive contexts / no-ops when tracing is off.
+  [[nodiscard]] TraceContext trace_root(std::string_view name,
+                                        const Channel& channel,
+                                        Ipv4Addr subject = kNoAddr) const;
+  [[nodiscard]] TraceContext trace_child(const TraceContext& parent,
+                                         std::string_view name,
+                                         const Channel& channel,
+                                         Ipv4Addr subject = kNoAddr) const;
+  void trace_instant(const TraceContext& parent, std::string_view name,
+                     const Channel& channel, Ipv4Addr subject = kNoAddr) const;
+
  private:
   friend class Network;
   Network* net_ = nullptr;
   NodeId node_{};
   Ipv4Addr addr_{};
   AgentStats stats_;
+};
+
+/// Causal-tracing seam. The fabric and the agents talk to this interface
+/// only (metrics::Tracer implements it — metrics depends on net, not the
+/// other way around, exactly like PacketTap). Roots anchor externally
+/// triggered actions; on_transmit mints a child span for every wire copy so
+/// the context a packet carries always names its causal parent at the next
+/// hop. All methods are no-ops / return inactive contexts when tracing is
+/// compiled out or no hook is installed.
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+
+  /// Opens a root span (subscribe, unsubscribe, tree round, data emission,
+  /// fault). `subject` names the entity the action is about (e.g. the
+  /// receiver address); pass kNoAddr when there is none.
+  virtual TraceContext root(std::string_view name, NodeId node,
+                            const Channel& channel, Ipv4Addr subject) = 0;
+
+  /// Opens a child span under `parent` (e.g. one soft-state refresh round).
+  virtual TraceContext child(const TraceContext& parent, std::string_view name,
+                             NodeId node, const Channel& channel,
+                             Ipv4Addr subject) = 0;
+
+  /// Records a zero-duration event under `parent` (table mutation,
+  /// delivery, state eviction).
+  virtual void instant(const TraceContext& parent, std::string_view name,
+                       NodeId node, const Channel& channel,
+                       Ipv4Addr subject) = 0;
+
+  /// Called per wire copy of a traced packet; returns the context the
+  /// in-flight copy should carry (a transmit span parented on the context
+  /// the packet had when it reached this hop).
+  virtual TraceContext on_transmit(const Topology::Edge& edge,
+                                   const Packet& packet, Time start,
+                                   Time arrival) = 0;
+
+  /// Called when a traced packet is dropped (TTL, loss, link-down, ...).
+  virtual void on_drop(NodeId at, const Packet& packet,
+                       std::string_view reason, Time now) = 0;
 };
 
 /// Observer of fabric activity; used by metrics probes and trace tooling.
@@ -167,6 +219,12 @@ class Network {
   void add_tap(PacketTap* tap);
   void remove_tap(PacketTap* tap) noexcept;
 
+  /// Installs the causal-tracing hook (one per network, no ownership; pass
+  /// nullptr to detach). While installed, every wire copy of a traced
+  /// packet gets a fresh child span stamped into its TraceContext.
+  void set_trace_hook(TraceHook* hook) noexcept { trace_hook_ = hook; }
+  [[nodiscard]] TraceHook* trace_hook() const noexcept { return trace_hook_; }
+
   [[nodiscard]] const NetworkCounters& counters() const noexcept {
     return counters_;
   }
@@ -210,6 +268,7 @@ class Network {
   std::unordered_map<Ipv4Addr, NodeId> addr_to_node_;
   PacketTap* tap_ = nullptr;
   std::vector<PacketTap*> taps_;  ///< persistent observers (telemetry)
+  TraceHook* trace_hook_ = nullptr;
   NetworkCounters counters_;
   ImpairmentPlane impairments_;
 };

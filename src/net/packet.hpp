@@ -74,6 +74,21 @@ struct DataPayload {
   bool encapsulated = false;
 };
 
+/// Causal tracing context carried by every packet. A root span is opened
+/// when an external action (subscribe, data emission, fault) originates a
+/// packet; each wire transmission re-stamps `span_id` with a child span, so
+/// the context a packet arrives with names the causal parent of whatever the
+/// receiving agent does next. `trace_id == 0` means "not traced" — the
+/// default for every packet when no tracer is attached, which keeps the
+/// whole feature zero-cost on untraced runs.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+  [[nodiscard]] bool operator==(const TraceContext&) const noexcept = default;
+};
+
 enum class PacketType : std::uint8_t {
   kData,
   kJoin,
@@ -98,6 +113,7 @@ struct Packet {
   Channel channel;     ///< the multicast channel this packet belongs to
   PacketType type = PacketType::kData;
   int ttl = kDefaultTtl;
+  TraceContext trace;  ///< causal span context; inactive unless traced
   std::variant<DataPayload, JoinPayload, TreePayload, FusionPayload,
                PimJoinPayload>
       payload{};

@@ -14,6 +14,9 @@ constexpr std::uint8_t kFlagFirst = 1u << 0;
 constexpr std::uint8_t kFlagFresh = 1u << 1;
 constexpr std::uint8_t kFlagMarked = 1u << 2;
 constexpr std::uint8_t kFlagEncap = 1u << 3;
+constexpr std::uint8_t kFlagTraced = 1u << 4;
+
+constexpr std::size_t kTraceExtSize = 16;  // trace_id(8) + span_id(8)
 
 class Writer {
  public:
@@ -99,26 +102,29 @@ std::uint8_t flags_of(const Packet& p) {
     case PacketType::kPimPrune:
       break;
   }
+  if (p.trace.active()) flags |= kFlagTraced;
   return flags;
 }
 
 }  // namespace
 
 std::size_t encoded_size(const Packet& packet) {
+  const std::size_t header =
+      kHeaderSize + (packet.trace.active() ? kTraceExtSize : 0);
   switch (packet.type) {
     case PacketType::kJoin:
-      return kHeaderSize + 4;
+      return header + 4;
     case PacketType::kTree:
-      return kHeaderSize + 12;
+      return header + 12;
     case PacketType::kFusion:
-      return kHeaderSize + 6 + 4 * packet.fusion().receivers.size();
+      return header + 6 + 4 * packet.fusion().receivers.size();
     case PacketType::kPimJoin:
     case PacketType::kPimPrune:
-      return kHeaderSize + 8;
+      return header + 8;
     case PacketType::kData:
-      return kHeaderSize + 20;
+      return header + 20;
   }
-  return kHeaderSize;
+  return header;
 }
 
 std::vector<std::uint8_t> encode(const Packet& packet) {
@@ -132,6 +138,10 @@ std::vector<std::uint8_t> encode(const Packet& packet) {
   w.addr(packet.dst);
   w.addr(packet.channel.source);
   w.addr(packet.channel.group.addr());
+  if (packet.trace.active()) {
+    w.u64(packet.trace.trace_id);
+    w.u64(packet.trace.span_id);
+  }
   switch (packet.type) {
     case PacketType::kJoin:
       w.addr(packet.join().receiver);
@@ -179,6 +189,11 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire) {
   p.dst = r.addr();
   p.channel.source = r.addr();
   p.channel.group = GroupAddr{r.addr()};
+  if ((flags & kFlagTraced) != 0) {
+    p.trace.trace_id = r.u64();
+    p.trace.span_id = r.u64();
+    if (p.trace.trace_id == 0) return std::nullopt;  // flag requires a trace
+  }
   if (!r.ok()) return std::nullopt;
 
   switch (p.type) {

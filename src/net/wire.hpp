@@ -9,13 +9,16 @@
 //
 //   common header (20 bytes):
 //     0      version(hi nibble)=1 | type(lo nibble)
-//     1      flags   (bit0 FIRST, bit1 FRESH, bit2 MARKED, bit3 ENCAP)
+//     1      flags   (bit0 FIRST, bit1 FRESH, bit2 MARKED, bit3 ENCAP,
+//                     bit4 TRACED)
 //     2      ttl
 //     3      reserved (0)
 //     4..7   src IPv4
 //     8..11  dst IPv4
 //     12..15 channel source S
 //     16..19 channel group G
+//   trace extension (16 bytes, only when TRACED is set):
+//     trace_id(8) span_id(8)
 //   payload:
 //     join:     receiver(4)
 //     tree:     target(4) last_branch(4) wave(4)

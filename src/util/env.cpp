@@ -57,6 +57,8 @@ bool env_csv() { return env_int_or("HBH_CSV", 0) != 0; }
 
 std::string env_report_path() { return env_str_or("HBH_REPORT", ""); }
 
+std::string env_trace_out() { return env_str_or("HBH_TRACE_OUT", ""); }
+
 std::string env_perf_out(std::string_view fallback) {
   return env_str_or("HBH_PERF_OUT", fallback);
 }

@@ -51,6 +51,10 @@ namespace hbh {
 /// HBH_REPORT — path for the hbh.run_report/v1 JSON; empty = no report.
 [[nodiscard]] std::string env_report_path();
 
+/// HBH_TRACE_OUT — path for a Perfetto/Chrome trace-event JSON of one
+/// instrumented serial re-run (schema hbh.trace/v1); empty = no trace.
+[[nodiscard]] std::string env_trace_out();
+
 /// HBH_PERF_OUT — path for perf_smoke's JSON artifact.
 [[nodiscard]] std::string env_perf_out(std::string_view fallback);
 

@@ -18,7 +18,10 @@
 #include "metrics/registry.hpp"
 #include "metrics/report.hpp"
 #include "metrics/sampler.hpp"
+#include "net/network.hpp"
 #include "net/wire.hpp"
+#include "routing/unicast.hpp"
+#include "sim/simulator.hpp"
 #include "topo/builders.hpp"
 #include "topo/isp.hpp"
 #include "util/rng.hpp"
@@ -221,6 +224,28 @@ TEST(RegistryTest, HistogramBucketsSumAndOverflow) {
   EXPECT_DOUBLE_EQ(h.mean(), 102.5 / 3);
 }
 
+TEST(RegistryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  Registry reg;
+  metrics::Histogram& h = reg.histogram("h", {10, 20, 40});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 8; ++i) h.observe(5);    // bucket [0, 10]
+  for (int i = 0; i < 2; ++i) h.observe(15);   // bucket (10, 20]
+  // p50: rank 5 of 10 lands 5/8 into the first bucket -> 10 * 5/8.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.25);
+  // p90: rank 9 is the first observation past the 8 in bucket 0, half-way
+  // through bucket 1's two observations -> 10 + 10 * 1/2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);  // all mass is <= 20
+}
+
+TEST(RegistryTest, HistogramQuantileOverflowClampsToLastBound) {
+  Registry reg;
+  metrics::Histogram& h = reg.histogram("h", {1, 2});
+  h.observe(1000);  // overflow bucket: upper edge unknown
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
 TEST(JsonWriterTest, CompactNestedDocument) {
   std::ostringstream out;
   JsonWriter w{out, 0};
@@ -311,6 +336,86 @@ TEST(NetworkStatsTapTest, CountsPerTypeBytesAndDrops) {
   EXPECT_EQ(reg.counter("net.drops").value(), 1u);
   EXPECT_EQ(reg.counter("net.drops.no-route").value(), 1u);
   EXPECT_EQ(reg.histogram("net.packet_bytes", {}).count(), 3u);
+}
+
+/// Raw fabric on a 4-node line with the stats tap attached: every drop the
+/// Network makes lands in a per-reason counter with an exactly predictable
+/// count (no protocol traffic, no randomness in what is sent).
+class DropCounterTest : public ::testing::Test {
+ protected:
+  DropCounterTest() {
+    for (int i = 0; i < 4; ++i) topo_.add_node();
+    for (std::uint32_t i = 0; i + 1 < 4; ++i) {
+      topo_.add_duplex(NodeId{i}, NodeId{i + 1}, net::LinkAttrs{1, 2});
+    }
+    routes_ = std::make_unique<routing::UnicastRouting>(topo_);
+    net_ = std::make_unique<net::Network>(sim_, topo_, *routes_);
+    tap_ = std::make_unique<metrics::NetworkStatsTap>(reg_);
+    net_->add_tap(tap_.get());
+  }
+
+  net::Packet data_to(NodeId to) {
+    net::Packet p;
+    p.src = net_->address_of(NodeId{0});
+    p.dst = net_->address_of(to);
+    p.type = net::PacketType::kData;
+    p.payload = net::DataPayload{};
+    return p;
+  }
+
+  std::uint64_t drops(const std::string& reason) {
+    return reg_.counter("net.drops." + reason).value();
+  }
+
+  net::Topology topo_;
+  sim::Simulator sim_;
+  std::unique_ptr<routing::UnicastRouting> routes_;
+  std::unique_ptr<net::Network> net_;
+  Registry reg_;
+  std::unique_ptr<metrics::NetworkStatsTap> tap_;
+};
+
+TEST_F(DropCounterTest, TtlExpiredCountsExactly) {
+  // ttl=1 buys exactly one hop: node 1's forward finds ttl 0 and drops.
+  net::Packet p = data_to(NodeId{3});
+  p.ttl = 1;
+  net_->send(NodeId{0}, std::move(p));
+  sim_.run();
+  EXPECT_EQ(drops("ttl-expired"), 1u);
+  EXPECT_EQ(reg_.counter("net.drops").value(), 1u);
+  EXPECT_EQ(reg_.counter("net.tx.data").value(), 1u);  // the one hop it got
+}
+
+TEST_F(DropCounterTest, SeededLossDropsEveryCopyOnTheImpairedLink) {
+  // loss=1.0 makes the seeded plan deterministic outright: every copy
+  // entering link 1->2 is dropped as "loss" at node 1, after crossing
+  // 0->1 intact.
+  net_->impairments().reseed(7);
+  net::Impairment lossy;
+  lossy.loss = 1.0;
+  net_->set_impairment(NodeId{1}, NodeId{2}, lossy);
+  for (int i = 0; i < 3; ++i) {
+    net_->send(NodeId{0}, data_to(NodeId{3}));
+    sim_.run();
+  }
+  EXPECT_EQ(drops("loss"), 3u);
+  EXPECT_EQ(drops("ttl-expired"), 0u);
+  EXPECT_EQ(reg_.counter("net.drops").value(), 3u);
+  EXPECT_EQ(reg_.counter("net.tx.data").value(), 3u);  // three 0->1 hops
+}
+
+TEST_F(DropCounterTest, BlackholeWindowDropsAsLinkDown) {
+  // A blackhole window is an impairment the IGP never sees: routing still
+  // points through 0->1, so both sends die there as "link-down".
+  net::Impairment blackhole;
+  blackhole.down_windows = {{0.0, 1000.0}};
+  net_->set_impairment(NodeId{0}, NodeId{1}, blackhole);
+  net_->send(NodeId{0}, data_to(NodeId{3}));
+  net_->send(NodeId{0}, data_to(NodeId{3}));
+  sim_.run();
+  EXPECT_EQ(drops("link-down"), 2u);
+  EXPECT_EQ(reg_.counter("net.drops").value(), 2u);
+  EXPECT_EQ(reg_.counter("net.tx.data").value(), 0u);  // nothing got out
 }
 
 /// One small converged ISP run with telemetry on (4 receivers, HBH).

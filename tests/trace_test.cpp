@@ -88,9 +88,20 @@ TEST(MessageTraceTest, CapacityBoundsRecording) {
   }
   EXPECT_EQ(trace.records().size(), 3u);
   EXPECT_TRUE(trace.truncated());
+  EXPECT_EQ(trace.dropped(), 7u);  // the exact overflow, not just a flag
   trace.clear();
   EXPECT_TRUE(trace.records().empty());
   EXPECT_FALSE(trace.truncated());
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(MessageTraceTest, DroppedStaysZeroBelowCapacity) {
+  MessageTrace trace{8};
+  for (int i = 0; i < 8; ++i) {
+    trace.on_transmit(edge(0, 1), packet_of(net::PacketType::kTree), i);
+  }
+  EXPECT_FALSE(trace.truncated());
+  EXPECT_EQ(trace.dropped(), 0u);
 }
 
 TEST(MessageTraceTest, ClearResetsParallelByteVector) {

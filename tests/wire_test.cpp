@@ -114,6 +114,41 @@ TEST(WireTest, DataRoundTripIncludingTimestamp) {
   EXPECT_TRUE(out->data().encapsulated);
 }
 
+TEST(WireTest, TracedRoundTripCarriesContext) {
+  Packet p = base(PacketType::kTree);
+  p.payload = TreePayload{Ipv4Addr{10, 0, 5, 1}, false, {}, 1};
+  p.trace = TraceContext{0xAABBCCDD11223344ull, 0x55667788ull};
+  const auto bytes = encode(p);
+  // The traced flag costs exactly the 16-byte extension.
+  Packet untraced = p;
+  untraced.trace = TraceContext{};
+  EXPECT_EQ(bytes.size(), encoded_size(untraced) + 16);
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.has_value());
+  expect_header_roundtrip(p, *out);
+  EXPECT_EQ(out->trace, p.trace);
+  EXPECT_TRUE(out->trace.active());
+}
+
+TEST(WireTest, UntracedPacketDecodesInactiveContext) {
+  Packet p = base(PacketType::kJoin);
+  p.payload = JoinPayload{Ipv4Addr{10, 0, 5, 1}};
+  const auto out = decode(encode(p));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->trace.active());
+}
+
+TEST(WireTest, RejectsTracedFlagWithZeroTraceId) {
+  Packet p = base(PacketType::kJoin);
+  p.payload = JoinPayload{Ipv4Addr{10, 0, 5, 1}};
+  p.trace = TraceContext{7, 9};
+  auto bytes = encode(p);
+  // Zero out the trace_id field (bytes 20..27, right after the fixed
+  // header): the traced flag now promises a context that is not there.
+  for (std::size_t i = 20; i < 28; ++i) bytes[i] = 0;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
 TEST(WireTest, RejectsShortBuffer) {
   Packet p = base(PacketType::kJoin);
   p.payload = JoinPayload{Ipv4Addr{10, 0, 5, 1}};
