@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "topo/random.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -78,6 +80,7 @@ struct Workload {
 /// and churn script.
 std::unique_ptr<Session> make_session(Protocol proto, std::size_t channels,
                                       std::size_t trial, const Workload& w) {
+  HBH_PHASE("trial_setup");
   Rng rng{cell_seed(w.base_seed, channels, trial)};
   // One fixed random graph per base seed (as the experiment driver does);
   // per-trial costs are randomized on top.
@@ -104,16 +107,30 @@ std::unique_ptr<Session> make_session(Protocol proto, std::size_t channels,
 
 CellResult run_cell(Protocol proto, std::size_t channels, std::size_t trial,
                     const Workload& w) {
-  auto session = make_session(proto, channels, trial, w);
-  session->run_for(kHorizon);
+  // Per-trial profiler merged under the protocol label: phase *counts* are
+  // pure simulation outputs, so the aggregate is byte-identical for every
+  // HBH_JOBS setting (merge order commutes; only timings vary).
+  prof::PhaseProfiler profiler;
   CellResult out;
-  out.census = session->aggregate_census();
-  const std::uint64_t before =
-      session->network().counters().control_transmissions;
-  session->run_for(kCtlWindow);
-  const std::uint64_t after =
-      session->network().counters().control_transmissions;
-  out.ctl_rate = static_cast<double>(after - before) / (kCtlWindow / 10.0);
+  {
+    const prof::ScopedProfiler install{profiler};
+    auto session = make_session(proto, channels, trial, w);
+    {
+      HBH_PHASE("churn");
+      session->run_for(kHorizon);
+    }
+    out.census = session->aggregate_census();
+    const std::uint64_t before =
+        session->network().counters().control_transmissions;
+    {
+      HBH_PHASE("measure");
+      session->run_for(kCtlWindow);
+    }
+    const std::uint64_t after =
+        session->network().counters().control_transmissions;
+    out.ctl_rate = static_cast<double>(after - before) / (kCtlWindow / 10.0);
+  }
+  prof::process_profile().merge(to_string(proto), profiler);
   return out;
 }
 
@@ -216,14 +233,27 @@ void write_report(const std::string& path,
   jw.key("runs");
   jw.begin_object();
   for (const Protocol proto : protocols) {
+    prof::PhaseProfiler dive_profiler;
+    std::optional<prof::ScopedProfiler> dive_install{std::in_place,
+                                                     dive_profiler};
     auto session = make_session(proto, channel_counts.back(), 0, w);
     session->enable_telemetry();
     session->enable_tracing();
-    session->run_for(kHorizon);
+    {
+      HBH_PHASE("churn");
+      session->run_for(kHorizon);
+    }
+    // Merge the dive before snapshotting so the perf_profile section
+    // covers the sweep trials plus this instrumented run.
+    dive_install.reset();
+    prof::process_profile().merge(to_string(proto), dive_profiler);
+    const prof::PhaseMap profile =
+        prof::process_profile().snapshot(to_string(proto));
 
     const metrics::ConvergenceSummary convergence =
         metrics::analyze_convergence(session->tracer()->spans());
     metrics::RunReport report;
+    report.profile = &profile;
     report.registry = session->registry();
     report.sampler = session->sampler();
     report.trace = session->trace();
@@ -324,6 +354,9 @@ int main() {
   const std::string report = env_report_path();
   if (!report.empty()) {
     write_report(report, channel_counts, trials, w, sweep);
+  }
+  if (harness::maybe_write_profile_from_env("ablation_state_scaling")) {
+    std::printf("profile: %s\n", env_prof_out().c_str());
   }
   return control_only_holds ? 0 : 1;
 }

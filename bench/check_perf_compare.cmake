@@ -1,0 +1,40 @@
+# Asserts tools/perf_compare's exit-code contract (0 pass, 1 regressed or
+# missing metric, 2 usage/IO/schema error) against the committed fixtures
+# in bench/baselines/selftest/. Invoked by the perf_compare_selftest ctest
+# case; expects -DPERF_COMPARE (binary path) and -DFIXTURES (fixture dir).
+function(run_case expect_rc)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR
+      "expected exit ${expect_rc}, got ${rc} from: ${ARGN}\n${out}${err}")
+  endif()
+endfunction()
+
+# A within-noise artifact passes.
+run_case(0 ${PERF_COMPARE}
+  ${FIXTURES}/baseline.json ${FIXTURES}/current_ok.json)
+
+# A regressed artifact (which also drops one baselined metric) fails...
+run_case(1 ${PERF_COMPARE}
+  ${FIXTURES}/baseline.json ${FIXTURES}/current_regressed.json)
+
+# ...unless --report-only downgrades the gate to informational.
+run_case(0 ${PERF_COMPARE} --report-only
+  ${FIXTURES}/baseline.json ${FIXTURES}/current_regressed.json)
+
+# Shrinking every threshold via --tolerance turns the ok artifact into a
+# regression, so the scale factor demonstrably reaches the comparison.
+run_case(1 ${PERF_COMPARE} --tolerance 0.001
+  ${FIXTURES}/baseline.json ${FIXTURES}/current_ok.json)
+
+# Missing baseline file and an odd argument count are usage errors, not
+# regressions: exit 2 so CI can tell a broken invocation from a slow run.
+run_case(2 ${PERF_COMPARE}
+  ${FIXTURES}/no_such_baseline.json ${FIXTURES}/current_ok.json)
+run_case(2 ${PERF_COMPARE} ${FIXTURES}/baseline.json)
+
+message(STATUS "perf_compare selftest OK")

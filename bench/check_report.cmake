@@ -31,6 +31,8 @@ foreach(needle
     "\"state.forwarding_entries\"" "\"messages\"" "\"messages_dropped\""
     "\"p50\"" "\"p95\"" "\"p99\"" "\"trace\"" "hbh.trace/v1"
     "\"convergence\"" "\"grafts\"" "\"mean_join_to_first_delivery\""
+    "\"perf_profile\"" "hbh.perf_profile/v1" "\"phases\"" "\"trial_setup\""
+    "\"wall_ns\"" "\"cpu_ns\"" "\"peak_rss_bytes\""
     "\"wall_seconds\"")
   string(FIND "${doc}" "${needle}" pos)
   if(pos EQUAL -1)

@@ -1,0 +1,206 @@
+// Data-plane packets/sec microbench — the baseline ROADMAP item 1 (the
+// compiled data-plane fast path) will be judged against.
+//
+// For each protocol: build the ISP session, converge the control plane,
+// then time a loop of source emissions draining through the simulator.
+// Built with -DHBH_PROF_ALLOC=ON the artifact also carries the exact
+// heap allocation count and bytes of the measured loop (the EventQueue
+// recycles its slot pool and SPF results are cached, so what remains is
+// per-packet payload/handler cost) — allocation regressions on the data
+// path show up as a counted number instead of a timing blur.
+//
+// Throughput (packets_per_second) varies with the machine; the packet
+// *counts* are pure simulation outputs and are deterministic for a fixed
+// seed and round count — bench/baselines/perf_dataplane.json gates them
+// with a tight band and the timings with a wide one.
+//
+// Knobs: HBH_SEED, HBH_DP_ROUNDS (measured emission rounds, default 64),
+// HBH_DP_WARMUP (unmeasured warmup rounds, default 8), HBH_PERF_OUT
+// (JSON path, default BENCH_perf_dataplane.json; empty string disables
+// the file), HBH_PROF_OUT (standalone phase profile).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/session.hpp"
+#include "metrics/json.hpp"
+#include "topo/builders.hpp"
+#include "topo/isp.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/profiler.hpp"
+#include "util/rng.hpp"
+
+using namespace hbh;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReceivers = 16;
+constexpr Time kConvergeTime = 240;   // control-plane warmup, as in figures
+constexpr Time kRoundDrain = 30;      // sim time per emission round
+constexpr Time kTailDrain = 60;       // final drain inside the timed window
+
+struct ProtocolResult {
+  harness::Protocol protocol;
+  std::uint64_t data_packets = 0;     ///< data transmissions, measured loop
+  std::uint64_t control_packets = 0;  ///< control riding along (soft state)
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0;
+  std::uint64_t allocs = 0;           ///< 0 unless -DHBH_PROF_ALLOC=ON
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t queue_slots = 0;      ///< slot pool size after the loop
+  std::uint64_t queue_pushes = 0;     ///< total pushes (reuse = pushes/slots)
+
+  [[nodiscard]] double packets_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(data_packets) / wall_seconds
+                            : 0;
+  }
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(sim_events) / wall_seconds
+                            : 0;
+  }
+};
+
+ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
+                            std::size_t rounds, std::size_t warmup_rounds) {
+  prof::PhaseProfiler profiler;
+  const prof::ScopedProfiler install{profiler};
+
+  // Same paired-trial construction as the figure sweeps: every protocol
+  // sees identical costs and the same receiver set.
+  Rng rng{seed};
+  topo::Scenario scenario = topo::make_isp();
+  topo::randomize_costs(scenario.topo, rng);
+  auto candidates = scenario.candidate_receivers();
+  const std::vector<NodeId> receivers = rng.sample(candidates, kReceivers);
+
+  const harness::SessionConfig config{};
+  harness::Session session{std::move(scenario), protocol, config};
+  harness::ChannelHandle ch = session.default_channel();
+  ProtocolResult result{.protocol = protocol};
+  {
+    HBH_PHASE("converge");
+    Time delay = 0.1;
+    for (const NodeId r : receivers) {
+      session.subscribe(r, delay);
+      delay += 1.2 * config.timers.tree_period;
+    }
+    session.run_for(delay + kConvergeTime);
+    for (std::size_t i = 0; i < warmup_rounds; ++i) {
+      (void)ch.inject_data();
+      session.run_for(kRoundDrain);
+    }
+  }
+
+  {
+    HBH_PHASE("measure_loop");
+    const net::NetworkCounters before = session.network().counters();
+    const std::uint64_t events_before = session.simulator().executed();
+    const prof::AllocCounters alloc_before = prof::thread_alloc_counters();
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < rounds; ++i) {
+      (void)ch.inject_data();
+      session.run_for(kRoundDrain);
+    }
+    session.run_for(kTailDrain);
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const prof::AllocCounters alloc_after = prof::thread_alloc_counters();
+    const net::NetworkCounters& after = session.network().counters();
+    result.data_packets = after.data_transmissions - before.data_transmissions;
+    result.control_packets =
+        after.control_transmissions - before.control_transmissions;
+    result.sim_events = session.simulator().executed() - events_before;
+    result.allocs = alloc_after.allocs - alloc_before.allocs;
+    result.alloc_bytes = alloc_after.bytes - alloc_before.bytes;
+    result.queue_slots = session.simulator().queue().slots_allocated();
+    result.queue_pushes = session.simulator().queue().total_pushes();
+  }
+
+  prof::process_profile().merge(to_string(protocol), profiler);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  init_log_level_from_env();
+  const std::uint64_t seed = env_seed();
+  const std::size_t rounds = env_dp_rounds(64);
+  const std::size_t warmup_rounds = env_dp_warmup(8);
+
+  std::printf("=== perf_dataplane — data fan-out packets/sec ===\n");
+  std::printf("topology=ISP receivers=%zu rounds=%zu warmup=%zu seed=%llu\n\n",
+              kReceivers, rounds, warmup_rounds,
+              static_cast<unsigned long long>(seed));
+
+  std::vector<ProtocolResult> results;
+  for (const harness::Protocol p : harness::all_protocols()) {
+    results.push_back(run_protocol(p, seed, rounds, warmup_rounds));
+  }
+
+  std::printf("%-10s %12s %12s %14s %14s %10s\n", "protocol", "data_pkts",
+              "ctrl_pkts", "packets/s", "events/s", "allocs");
+  for (const ProtocolResult& r : results) {
+    std::printf("%-10s %12llu %12llu %14.0f %14.0f %10llu\n",
+                std::string(to_string(r.protocol)).c_str(),
+                static_cast<unsigned long long>(r.data_packets),
+                static_cast<unsigned long long>(r.control_packets),
+                r.packets_per_second(), r.events_per_second(),
+                static_cast<unsigned long long>(r.allocs));
+  }
+
+  const std::string out_path = env_perf_out("BENCH_perf_dataplane.json");
+  if (!out_path.empty()) {
+    std::ofstream out{out_path};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write HBH_PERF_OUT=%s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    metrics::JsonWriter w{out};
+    w.begin_object();
+    w.member("schema", "hbh.perf_dataplane/v1");
+    w.key("config");
+    w.begin_object();
+    w.member("topology", "ISP");
+    w.member("receivers", static_cast<std::uint64_t>(kReceivers));
+    w.member("rounds", static_cast<std::uint64_t>(rounds));
+    w.member("warmup_rounds", static_cast<std::uint64_t>(warmup_rounds));
+    w.member("seed", seed);
+    w.member("alloc_counting", prof::kAllocCountingCompiled);
+    w.end_object();
+    w.key("protocols");
+    w.begin_object();
+    for (const ProtocolResult& r : results) {
+      w.key(to_string(r.protocol));
+      w.begin_object();
+      w.member("data_packets", r.data_packets);
+      w.member("control_packets", r.control_packets);
+      w.member("sim_events", r.sim_events);
+      w.member("wall_seconds", r.wall_seconds);
+      w.member("packets_per_second", r.packets_per_second());
+      w.member("events_per_second", r.events_per_second());
+      w.member("allocs", r.allocs);
+      w.member("alloc_bytes", r.alloc_bytes);
+      w.member("queue_slots", r.queue_slots);
+      w.member("queue_pushes", r.queue_pushes);
+      w.end_object();
+    }
+    w.end_object();
+    w.member("peak_rss_bytes", prof::peak_rss_bytes());
+    w.end_object();
+    out << '\n';
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  if (harness::maybe_write_profile_from_env("perf_dataplane")) {
+    std::printf("profile: %s\n", env_prof_out().c_str());
+  }
+  return 0;
+}

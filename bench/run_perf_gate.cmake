@@ -1,0 +1,40 @@
+# The perf-labeled regression gate: runs perf_smoke and perf_dataplane,
+# then strictly compares their JSON artifacts against the committed
+# bench/baselines/*.json. Invoked by the perf_baseline_gate ctest case;
+# expects -DPERF_SMOKE, -DPERF_DATAPLANE, -DPERF_COMPARE, -DBASELINE_DIR,
+# -DWORK_DIR.
+#
+# Baselined counts are deterministic (tight bands); timing metrics carry
+# wide noise thresholds so the gate only trips on real regressions. On an
+# unusually noisy runner, scale all thresholds with HBH_PERF_TOLERANCE
+# (docs/PERFORMANCE.md "Recording and comparing baselines").
+function(run_bench label)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label} exited with ${rc}:\n${out}${err}")
+  endif()
+endfunction()
+
+# HBH_TRIALS=3 keeps perf_smoke's run_all timing loop short; the baselined
+# metrics (micro throughputs, outputs_identical) do not depend on it.
+run_bench(perf_smoke ${CMAKE_COMMAND} -E env HBH_TRIALS=3
+  "HBH_PERF_OUT=${WORK_DIR}/gate_perf_smoke.json" ${PERF_SMOKE})
+run_bench(perf_dataplane ${CMAKE_COMMAND} -E env
+  "HBH_PERF_OUT=${WORK_DIR}/gate_perf_dataplane.json" ${PERF_DATAPLANE})
+
+execute_process(
+  COMMAND ${PERF_COMPARE}
+    ${BASELINE_DIR}/perf_smoke.json ${WORK_DIR}/gate_perf_smoke.json
+    ${BASELINE_DIR}/perf_dataplane.json ${WORK_DIR}/gate_perf_dataplane.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+message(STATUS "\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf_compare exited with ${rc}\n${err}")
+endif()
+message(STATUS "perf baseline gate OK")

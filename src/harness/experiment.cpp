@@ -5,14 +5,17 @@
 #include <fstream>
 #include <iomanip>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <tuple>
 
 #include "harness/trial_pool.hpp"
+#include "metrics/profiler.hpp"
 #include "metrics/report.hpp"
 #include "topo/isp.hpp"
 #include "topo/random.hpp"
 #include "util/env.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace hbh::harness {
@@ -73,6 +76,7 @@ struct TrialSetup {
 
 TrialSetup prepare_trial(const ExperimentSpec& spec, Protocol protocol,
                          std::size_t group_size, std::size_t trial_index) {
+  HBH_PHASE("trial_setup");
   Rng rng{cell_seed(spec, group_size, trial_index)};
   topo::Scenario scenario = build_scenario(spec, rng);
   topo::randomize_costs(scenario.topo, rng);
@@ -102,15 +106,28 @@ TrialSetup prepare_trial(const ExperimentSpec& spec, Protocol protocol,
 
 TrialResult run_trial(const ExperimentSpec& spec, Protocol protocol,
                       std::size_t group_size, std::size_t trial_index) {
-  TrialSetup setup = prepare_trial(spec, protocol, group_size, trial_index);
-  Session& session = *setup.session;
-  session.run_for(setup.last_join + spec.warmup);
-
-  const Measurement m = session.measure(spec.drain);
+  // Per-trial profiler, merged into the process-wide per-protocol
+  // aggregate on completion. Stats are integers summed under a mutex, so
+  // the aggregated phase *counts* are identical no matter which TrialPool
+  // worker ran which trial (the HBH_JOBS determinism contract); only
+  // timings vary.
+  prof::PhaseProfiler profiler;
   TrialResult result;
-  result.tree_cost = static_cast<double>(m.tree_cost);
-  result.mean_delay = m.mean_delay;
-  result.delivered = m.delivered_exactly_once();
+  {
+    const prof::ScopedProfiler install{profiler};
+    TrialSetup setup = prepare_trial(spec, protocol, group_size, trial_index);
+    Session& session = *setup.session;
+    {
+      HBH_PHASE("warmup");
+      session.run_for(setup.last_join + spec.warmup);
+    }
+    HBH_PHASE("measure");
+    const Measurement m = session.measure(spec.drain);
+    result.tree_cost = static_cast<double>(m.tree_cost);
+    result.mean_delay = m.mean_delay;
+    result.delivered = m.delivered_exactly_once();
+  }
+  prof::process_profile().merge(to_string(protocol), profiler);
   return result;
 }
 
@@ -258,6 +275,15 @@ bool write_run_report(const ExperimentSpec& spec,
   if (!out) return false;
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Rendering is itself a profiled phase (aggregated under the "report"
+  // label, visible in the HBH_PROF_OUT artifact). The per-protocol
+  // deep-dives below install their own profilers, so their phases land
+  // under the protocol labels, not here.
+  prof::PhaseProfiler render_profiler;
+  const prof::ScopedProfiler render_install{render_profiler};
+  std::optional<prof::PhaseScope> render_scope{std::in_place,
+                                              "report_render"};
+
   metrics::JsonWriter w(out);
   w.begin_object();
   w.member("schema", metrics::kRunReportSchema);
@@ -313,17 +339,35 @@ bool write_run_report(const ExperimentSpec& spec,
   w.key("runs");
   w.begin_object();
   for (const auto& sweep : results) {
+    // The deep-dive gets its own profiler so its phases aggregate under
+    // the protocol label alongside the sweep's trials; the merge happens
+    // before the snapshot below, so this run is included in the section.
+    prof::PhaseProfiler dive_profiler;
+    std::optional<prof::ScopedProfiler> dive_install{std::in_place,
+                                                    dive_profiler};
     TrialSetup setup = prepare_trial(spec, sweep.protocol, size, 0);
     Session& session = *setup.session;
     session.enable_telemetry(spec.session.timers.tree_period);
     session.enable_tracing();
     if (customize) customize(session);
-    session.run_for(setup.last_join + spec.warmup);
-    const Measurement m = session.measure(spec.drain);
+    {
+      HBH_PHASE("warmup");
+      session.run_for(setup.last_join + spec.warmup);
+    }
+    Measurement m;
+    {
+      HBH_PHASE("measure");
+      m = session.measure(spec.drain);
+    }
+    dive_install.reset();
+    prof::process_profile().merge(to_string(sweep.protocol), dive_profiler);
+    const prof::PhaseMap profile =
+        prof::process_profile().snapshot(to_string(sweep.protocol));
     const metrics::ConvergenceSummary convergence =
         metrics::analyze_convergence(session.tracer()->spans());
 
     metrics::RunReport report;
+    report.profile = &profile;
     report.registry = session.registry();
     report.sampler = session.sampler();
     report.trace = session.trace();
@@ -349,6 +393,9 @@ bool write_run_report(const ExperimentSpec& spec,
   w.member("wall_seconds", wall.count());
   w.end_object();
   out << '\n';
+
+  render_scope.reset();
+  prof::process_profile().merge("report", render_profiler);
   return out.good();
 }
 
@@ -388,6 +435,19 @@ bool maybe_write_trace_from_env(const ExperimentSpec& spec,
   const std::string path = env_trace_out();
   if (path.empty()) return false;
   return write_trace_file(spec, figure, path, customize);
+}
+
+bool write_profile_file(std::string_view figure, const std::string& path) {
+  std::map<std::string, std::string> info;
+  info["figure"] = std::string(figure);
+  return metrics::write_profile_file(prof::process_profile().snapshot(),
+                                     info, path);
+}
+
+bool maybe_write_profile_from_env(std::string_view figure) {
+  const std::string path = env_prof_out();
+  if (path.empty()) return false;
+  return write_profile_file(figure, path);
 }
 
 }  // namespace hbh::harness

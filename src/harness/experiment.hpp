@@ -134,4 +134,15 @@ bool maybe_write_trace_from_env(const ExperimentSpec& spec,
                                 std::string_view figure,
                                 const SessionHook& customize = {});
 
+/// Writes the process-wide phase profile accumulated so far (every trial
+/// run_trial executed, the report deep-dives, report rendering) as a
+/// standalone hbh.perf_profile/v1 document keyed by protocol label.
+/// Timings vary run to run; phase counts are deterministic at any
+/// HBH_JOBS. Returns false if the file could not be created.
+bool write_profile_file(std::string_view figure, const std::string& path);
+
+/// Honors HBH_PROF_OUT=path.json: writes the profile there and returns
+/// true, or does nothing when the variable is unset.
+bool maybe_write_profile_from_env(std::string_view figure);
+
 }  // namespace hbh::harness

@@ -10,6 +10,7 @@
 #include "mcast/pim/source.hpp"
 #include "mcast/reunite/router.hpp"
 #include "mcast/reunite/source.hpp"
+#include "util/profiler.hpp"
 
 namespace hbh::harness {
 
@@ -152,6 +153,27 @@ metrics::Registry& Session::enable_telemetry(Time sample_period) {
                  [this] { return static_cast<double>(sim_.peak_pending()); });
   reg.bind_gauge("sim.executed_events",
                  [this] { return static_cast<double>(sim_.executed()); });
+
+  // Event-queue slot pool: allocated should plateau while pushes grow —
+  // steady-state scheduling recycles slots instead of allocating.
+  reg.bind_gauge("sim.queue_slots", [this] {
+    return static_cast<double>(sim_.queue().slots_allocated());
+  });
+  reg.bind_gauge("sim.queue_slots_free", [this] {
+    return static_cast<double>(sim_.queue().slots_free());
+  });
+  reg.bind_gauge("sim.queue_pushes", [this] {
+    return static_cast<double>(sim_.queue().total_pushes());
+  });
+
+  // Unicast routing: how hard the lazy SPF cache is working (each
+  // invalidate() bumps the epoch; each miss runs one Dijkstra).
+  reg.bind_gauge("routing.spf_computations", [this] {
+    return static_cast<double>(routes_->spf_computations());
+  });
+  reg.bind_gauge("routing.topology_epoch", [this] {
+    return static_cast<double>(routes_->topology_epoch());
+  });
 
   // Protocol state (the paper's §2.1 router-state story, over time).
   // Cross-channel sums: identical to the per-channel numbers for
@@ -539,6 +561,7 @@ std::string_view fault_span_name(FaultEvent::Kind kind) {
 void Session::schedule_faults(const FaultPlan& plan) {
   for (const FaultEvent& ev : plan.events()) {
     sim_.schedule(ev.after, [this, ev] {
+      HBH_PHASE("fault");
       // Externally-injected faults are causal roots too: the span itself
       // has no packet to ride, but it anchors the event on the timeline
       // next to the protocol reactions it provokes.

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 
 namespace hbh::mcast {
 
@@ -57,6 +58,7 @@ void ReceiverHost::unsubscribe(const net::Channel& channel) {
 }
 
 void ReceiverHost::send_refresh(const net::Channel& channel) {
+  HBH_PHASE("soft_state_refresh");
   auto it = subs_.find(channel);
   if (it == subs_.end()) return;
   Subscription& sub = it->second;

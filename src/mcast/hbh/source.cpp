@@ -2,6 +2,7 @@
 
 #include "mcast/hbh/router.hpp"
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 
 namespace hbh::mcast::hbh {
 
@@ -15,6 +16,7 @@ void HbhSource::start() {
 }
 
 void HbhSource::emit_tree_round() {
+  HBH_PHASE("tree_round");
   count_timer_fire();
   const Time now = simulator().now();
   // Each refresh wave is one source-emission root: every tree message it
@@ -80,6 +82,7 @@ void HbhSource::handle(Packet&& packet, NodeId from) {
 }
 
 std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+  HBH_PHASE("data_fanout");
   const Time now = simulator().now();
   // One emission = one root span; the replication fan-out downstream and
   // the final deliveries all trace back here.

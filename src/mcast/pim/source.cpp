@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/profiler.hpp"
+
 namespace hbh::mcast::pim {
 
 using net::Packet;
@@ -17,6 +19,7 @@ void PimSource::handle(Packet&& packet, NodeId from) {
 }
 
 std::size_t PimSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+  HBH_PHASE("data_fanout");
   Packet data;
   data.src = self_addr();
   data.channel = channel_;

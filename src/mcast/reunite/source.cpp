@@ -1,6 +1,7 @@
 #include "mcast/reunite/source.hpp"
 
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 
 namespace hbh::mcast::reunite {
 
@@ -26,6 +27,7 @@ void ReuniteSource::purge(const net::TraceContext& ctx) {
 }
 
 void ReuniteSource::emit_tree_round() {
+  HBH_PHASE("tree_round");
   count_timer_fire();
   const Time now = simulator().now();
   // One refresh wave = one source-emission root span; replicas downstream
@@ -96,6 +98,7 @@ void ReuniteSource::handle(Packet&& packet, NodeId from) {
 }
 
 std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+  HBH_PHASE("data_fanout");
   const Time now = simulator().now();
   // One emission = one root span; replication fan-out and deliveries all
   // trace back here.

@@ -1,0 +1,190 @@
+#include "metrics/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace hbh::metrics {
+
+namespace {
+
+bool parse_direction(std::string_view text, BaselineDirection& out) {
+  if (text == "higher") {
+    out = BaselineDirection::kHigher;
+  } else if (text == "lower") {
+    out = BaselineDirection::kLower;
+  } else if (text == "band") {
+    out = BaselineDirection::kBand;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_baseline(const JsonValue& doc, Baseline& out, std::string* error) {
+  out = Baseline{};
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kPerfBaselineSchema) {
+    if (error != nullptr) {
+      *error = std::string("expected schema \"") +
+               std::string(kPerfBaselineSchema) + "\"";
+    }
+    return false;
+  }
+  if (const JsonValue* bench = doc.find("bench");
+      bench != nullptr && bench->is_string()) {
+    out.bench = bench->string;
+  }
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    if (error != nullptr) *error = "baseline has no \"metrics\" object";
+    return false;
+  }
+  for (const auto& [name, m] : metrics->object) {
+    BaselineMetric bm;
+    const JsonValue* value = m.find("value");
+    if (value == nullptr || !value->is_number()) {
+      if (error != nullptr) *error = "metric \"" + name + "\" has no value";
+      return false;
+    }
+    bm.value = value->number;
+    if (const JsonValue* noise = m.find("noise");
+        noise != nullptr && noise->is_number()) {
+      bm.noise = noise->number;
+    }
+    if (const JsonValue* dir = m.find("direction");
+        dir != nullptr && dir->is_string()) {
+      if (!parse_direction(dir->string, bm.direction)) {
+        if (error != nullptr) {
+          *error = "metric \"" + name + "\" has invalid direction \"" +
+                   dir->string + "\"";
+        }
+        return false;
+      }
+    }
+    out.metrics.emplace(name, bm);
+  }
+  return true;
+}
+
+void flatten_numbers(const JsonValue& v, const std::string& prefix,
+                     std::map<std::string, double>& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNumber:
+      if (!prefix.empty()) out[prefix] = v.number;
+      return;
+    case JsonValue::Kind::kBool:
+      if (!prefix.empty()) out[prefix] = v.boolean ? 1.0 : 0.0;
+      return;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, member] : v.object) {
+        flatten_numbers(member, prefix.empty() ? key : prefix + "." + key,
+                        out);
+      }
+      return;
+    case JsonValue::Kind::kArray:
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        const JsonValue& elem = v.array[i];
+        std::string label = std::to_string(i);
+        if (const JsonValue* name = elem.find("name");
+            name != nullptr && name->is_string()) {
+          label = name->string;
+        }
+        flatten_numbers(elem, prefix.empty() ? label : prefix + "." + label,
+                        out);
+      }
+      return;
+    case JsonValue::Kind::kNull:
+    case JsonValue::Kind::kString:
+      return;
+  }
+}
+
+std::size_t CompareReport::regressed() const {
+  return static_cast<std::size_t>(
+      std::count_if(metrics.begin(), metrics.end(), [](const auto& m) {
+        return m.status == MetricStatus::kRegressed;
+      }));
+}
+
+std::size_t CompareReport::missing() const {
+  return static_cast<std::size_t>(
+      std::count_if(metrics.begin(), metrics.end(), [](const auto& m) {
+        return m.status == MetricStatus::kMissing;
+      }));
+}
+
+CompareReport compare_to_baseline(const Baseline& baseline,
+                                  const JsonValue& current,
+                                  double tolerance_scale) {
+  std::map<std::string, double> flat;
+  flatten_numbers(current, "", flat);
+
+  CompareReport report;
+  for (const auto& [name, bm] : baseline.metrics) {
+    MetricComparison cmp;
+    cmp.name = name;
+    cmp.baseline = bm.value;
+    cmp.noise = bm.noise * tolerance_scale;
+    cmp.direction = bm.direction;
+    const auto it = flat.find(name);
+    if (it == flat.end()) {
+      cmp.status = MetricStatus::kMissing;
+      report.metrics.push_back(std::move(cmp));
+      continue;
+    }
+    cmp.current = it->second;
+    // Bounds scale with |value| so "band" works for counts of any size;
+    // noise >= 1 with direction "higher" makes the bound negative, i.e.
+    // the metric only gates on being present.
+    const double spread = cmp.noise * std::abs(bm.value);
+    const double lo = bm.value - spread;
+    const double hi = bm.value + spread;
+    const bool too_low = cmp.current < lo;
+    const bool too_high = cmp.current > hi;
+    bool regressed = false;
+    switch (bm.direction) {
+      case BaselineDirection::kHigher:
+        regressed = too_low;
+        break;
+      case BaselineDirection::kLower:
+        regressed = too_high;
+        break;
+      case BaselineDirection::kBand:
+        regressed = too_low || too_high;
+        break;
+    }
+    cmp.status = regressed ? MetricStatus::kRegressed : MetricStatus::kPass;
+    report.metrics.push_back(std::move(cmp));
+  }
+  return report;
+}
+
+std::string_view to_string(BaselineDirection d) noexcept {
+  switch (d) {
+    case BaselineDirection::kHigher:
+      return "higher";
+    case BaselineDirection::kLower:
+      return "lower";
+    case BaselineDirection::kBand:
+      return "band";
+  }
+  return "?";
+}
+
+std::string_view to_string(MetricStatus s) noexcept {
+  switch (s) {
+    case MetricStatus::kPass:
+      return "ok";
+    case MetricStatus::kRegressed:
+      return "REGRESSED";
+    case MetricStatus::kMissing:
+      return "MISSING";
+  }
+  return "?";
+}
+
+}  // namespace hbh::metrics

@@ -1,0 +1,100 @@
+// Perf baselines (schema "hbh.perf_baseline/v1") and regression checks.
+//
+// A baseline file pins expected values for a handful of metrics from one
+// bench's JSON artifact (BENCH_perf_smoke.json, BENCH_perf_dataplane.json,
+// ...), each with a per-metric noise threshold chosen for how reproducible
+// that metric is: simulation-derived counts are deterministic and get a
+// tight band, wall-clock throughput varies machine to machine and gets a
+// wide one. tools/perf_compare diffs a fresh artifact against the
+// committed bench/baselines/*.json and exits nonzero on regression; CI
+// runs it as a report-only gate (docs/PERFORMANCE.md "Recording and
+// comparing baselines").
+//
+// Baseline file shape:
+//   {
+//     "schema": "hbh.perf_baseline/v1",
+//     "bench": "perf_dataplane",
+//     "metrics": {
+//       "protocols.HBH.packets_per_second":
+//           {"value": 1.0e6, "noise": 0.90, "direction": "higher"},
+//       "protocols.HBH.data_packets":
+//           {"value": 4224, "noise": 0.50, "direction": "band"}
+//     }
+//   }
+//
+// Metric names address the bench artifact after flattening: object members
+// join with ".", array elements use their "name" member when present
+// (else the index) — e.g. the perf_smoke micro array entry
+// {"name": "event_queue_push_pop", "items_per_second": ...} flattens to
+// "micro.event_queue_push_pop.items_per_second".
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/json_parse.hpp"
+
+namespace hbh::metrics {
+
+inline constexpr std::string_view kPerfBaselineSchema = "hbh.perf_baseline/v1";
+
+/// Which deviations from the pinned value count as a regression.
+enum class BaselineDirection {
+  kHigher,  ///< metric is a throughput: regress when below value*(1-noise)
+  kLower,   ///< metric is a cost: regress when above value*(1+noise)
+  kBand,    ///< deterministic count: regress when outside value*(1±noise)
+};
+
+struct BaselineMetric {
+  double value = 0.0;
+  double noise = 0.25;  ///< allowed relative deviation (0.25 = ±25%)
+  BaselineDirection direction = BaselineDirection::kHigher;
+};
+
+struct Baseline {
+  std::string bench;
+  std::map<std::string, BaselineMetric> metrics;
+};
+
+/// Parses an already-loaded baseline document; false + message on schema
+/// mismatch or malformed metrics.
+[[nodiscard]] bool parse_baseline(const JsonValue& doc, Baseline& out,
+                                  std::string* error = nullptr);
+
+/// Flattens every number (and bool, as 0/1) reachable from `v` into
+/// dotted-path keys under `prefix` (see the header comment for the rule).
+void flatten_numbers(const JsonValue& v, const std::string& prefix,
+                     std::map<std::string, double>& out);
+
+enum class MetricStatus { kPass, kRegressed, kMissing };
+
+struct MetricComparison {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double noise = 0.0;  ///< effective allowed deviation (after tolerance)
+  BaselineDirection direction = BaselineDirection::kHigher;
+  MetricStatus status = MetricStatus::kPass;
+};
+
+struct CompareReport {
+  std::vector<MetricComparison> metrics;
+
+  [[nodiscard]] std::size_t regressed() const;
+  [[nodiscard]] std::size_t missing() const;
+  [[nodiscard]] bool ok() const { return regressed() == 0 && missing() == 0; }
+};
+
+/// Checks `current` (a parsed bench artifact) against `baseline`.
+/// `tolerance_scale` multiplies every noise threshold (HBH_PERF_TOLERANCE;
+/// >1 loosens the gate on noisy machines).
+[[nodiscard]] CompareReport compare_to_baseline(const Baseline& baseline,
+                                                const JsonValue& current,
+                                                double tolerance_scale = 1.0);
+
+[[nodiscard]] std::string_view to_string(BaselineDirection d) noexcept;
+[[nodiscard]] std::string_view to_string(MetricStatus s) noexcept;
+
+}  // namespace hbh::metrics

@@ -1,0 +1,62 @@
+// Minimal recursive-descent JSON parser for the perf tooling.
+//
+// The simulator only ever *wrote* JSON (JsonWriter); the baseline
+// regression checker (tools/perf_compare) must also *read* the bench
+// artifacts and the committed bench/baselines/*.json, so this adds the
+// smallest DOM that covers them: objects, arrays, strings, numbers,
+// booleans, null, UTF-8 passed through verbatim, \uXXXX escapes decoded.
+// No third-party dependency, same as the writer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hbh::metrics {
+
+/// A parsed JSON value. Object members keep document order (the writer
+/// emits sorted keys anyway); lookup is linear — documents here are small.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+
+  /// Object member by key; nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Nested lookup: find("a", "b") == find("a")->find("b").
+  template <typename... Rest>
+  [[nodiscard]] const JsonValue* find(std::string_view key,
+                                      Rest... rest) const {
+    const JsonValue* v = find(key);
+    return v == nullptr ? nullptr : v->find(rest...);
+  }
+};
+
+/// Parses `text` into `out`. On failure returns false and, when `error`
+/// is non-null, stores a message with the byte offset.
+[[nodiscard]] bool parse_json(std::string_view text, JsonValue& out,
+                              std::string* error = nullptr);
+
+/// Reads and parses a file; false on I/O or parse failure.
+[[nodiscard]] bool parse_json_file(const std::string& path, JsonValue& out,
+                                   std::string* error = nullptr);
+
+}  // namespace hbh::metrics

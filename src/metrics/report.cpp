@@ -107,6 +107,11 @@ void RunReport::write_body(JsonWriter& w) const {
     w.end_object();
   }
 
+  if (profile != nullptr && !profile->empty()) {
+    w.key("perf_profile");
+    write_perf_profile(w, *profile);
+  }
+
   if (convergence != nullptr) {
     w.key("convergence");
     w.begin_object();

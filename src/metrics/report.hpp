@@ -13,6 +13,7 @@
 #include <string>
 
 #include "metrics/json.hpp"
+#include "metrics/profiler.hpp"
 #include "metrics/registry.hpp"
 #include "metrics/sampler.hpp"
 #include "metrics/trace.hpp"
@@ -34,6 +35,10 @@ struct RunReport {
   const MessageTrace* trace = nullptr;
   const Tracer* tracer = nullptr;                 ///< causal span summary
   const ConvergenceSummary* convergence = nullptr;
+  /// Aggregated phase profile (schema hbh.perf_profile/v1); omitted when
+  /// null or empty. Phase counts are deterministic at any HBH_JOBS;
+  /// timings are excluded from byte-identity checks.
+  const PhaseMap* profile = nullptr;
 
   /// Writes the report's keys into an already-open JSON object — lets a
   /// caller embed several runs in one document (harness::write_run_report).

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <utility>
 
+#include "util/profiler.hpp"
+
 namespace hbh::routing {
 
 UnicastRouting::UnicastRouting(const net::Topology& topo, MetricFn metric)
@@ -17,6 +19,7 @@ const SpfResult& UnicastRouting::ensure(NodeId root) const {
   assert(topo_.contains(root));
   std::uint64_t& stamp = computed_epoch_[root.index()];
   if (stamp != epoch_) {
+    HBH_PHASE("spf");
     dijkstra_into(topo_, root, metric_, per_root_[root.index()], scratch_);
     stamp = epoch_;
     ++spf_runs_;

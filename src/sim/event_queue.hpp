@@ -48,6 +48,23 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
+  // --- Slot-pool observability (telemetry gauges, docs/OBSERVABILITY.md).
+  // A healthy steady state allocates a pool once and then recycles it:
+  // total_pushes() grows without bound while slots_allocated() plateaus.
+
+  /// Callback slots ever allocated (the warm pool size).
+  [[nodiscard]] std::size_t slots_allocated() const noexcept {
+    return slots_.size();
+  }
+  /// Slots currently retired and awaiting reuse.
+  [[nodiscard]] std::size_t slots_free() const noexcept {
+    return free_slots_.size();
+  }
+  /// Events ever pushed; pushes beyond slots_allocated() reused a slot.
+  [[nodiscard]] std::uint64_t total_pushes() const noexcept {
+    return next_seq_ - 1;
+  }
+
   /// Time of the earliest pending event; undefined when empty().
   [[nodiscard]] Time next_time() const;
 

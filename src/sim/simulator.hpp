@@ -54,6 +54,9 @@ class Simulator {
   /// Discards all pending events and resets the clock to zero.
   void reset();
 
+  /// Read-only view of the event queue (slot-pool gauges).
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+
  private:
   EventId track(EventId id) noexcept {
     if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();

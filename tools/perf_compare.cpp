@@ -1,0 +1,124 @@
+// perf_compare: diff fresh bench artifacts against committed baselines.
+//
+//   perf_compare [--report-only] [--tolerance X]
+//       <baseline.json> <current.json> [<baseline.json> <current.json> ...]
+//
+// Each pair checks one bench artifact (BENCH_perf_smoke.json,
+// BENCH_perf_dataplane.json, ...) against one hbh.perf_baseline/v1 file
+// from bench/baselines/. Per-metric noise thresholds live in the baseline;
+// --tolerance (default HBH_PERF_TOLERANCE, then 1.0) scales all of them.
+//
+// Exit codes:
+//   0  every metric within its threshold (or --report-only)
+//   1  at least one metric regressed or was missing from the artifact
+//   2  usage error, unreadable/missing file, or schema mismatch
+//
+// CI runs this as a report-only gate on the non-sanitizer job; the strict
+// mode backs the perf-labeled ctest gate and local use
+// (docs/PERFORMANCE.md "Recording and comparing baselines").
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "metrics/baseline.hpp"
+#include "metrics/json_parse.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegressed = 1;
+constexpr int kExitError = 2;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: perf_compare [--report-only] [--tolerance X]\n"
+      "                    <baseline.json> <current.json> [more pairs...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hbh;
+
+  bool report_only = false;
+  double tolerance = env_perf_tolerance();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report-only") {
+      report_only = true;
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        usage();
+        return kExitError;
+      }
+      tolerance = std::atof(argv[++i]);
+      if (tolerance <= 0) {
+        std::fprintf(stderr, "perf_compare: invalid --tolerance\n");
+        return kExitError;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return kExitOk;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() || paths.size() % 2 != 0) {
+    usage();
+    return kExitError;
+  }
+
+  std::size_t regressed = 0;
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < paths.size(); i += 2) {
+    const std::string& baseline_path = paths[i];
+    const std::string& current_path = paths[i + 1];
+
+    std::string error;
+    metrics::JsonValue baseline_doc;
+    if (!metrics::parse_json_file(baseline_path, baseline_doc, &error)) {
+      std::fprintf(stderr, "perf_compare: baseline %s\n", error.c_str());
+      return kExitError;
+    }
+    metrics::Baseline baseline;
+    if (!metrics::parse_baseline(baseline_doc, baseline, &error)) {
+      std::fprintf(stderr, "perf_compare: %s: %s\n", baseline_path.c_str(),
+                   error.c_str());
+      return kExitError;
+    }
+    metrics::JsonValue current;
+    if (!metrics::parse_json_file(current_path, current, &error)) {
+      std::fprintf(stderr, "perf_compare: current %s\n", error.c_str());
+      return kExitError;
+    }
+
+    const metrics::CompareReport report =
+        metrics::compare_to_baseline(baseline, current, tolerance);
+    std::printf("%s (%s vs %s, tolerance x%.2f)\n",
+                baseline.bench.empty() ? "bench" : baseline.bench.c_str(),
+                baseline_path.c_str(), current_path.c_str(), tolerance);
+    for (const auto& m : report.metrics) {
+      const double rel =
+          m.baseline != 0 ? (m.current - m.baseline) / m.baseline : 0.0;
+      std::printf("  %-55s %14.4g -> %14.4g  %+7.1f%%  (allow %s %.0f%%)  %s\n",
+                  m.name.c_str(), m.baseline, m.current, 100.0 * rel,
+                  std::string(metrics::to_string(m.direction)).c_str(),
+                  100.0 * m.noise,
+                  std::string(metrics::to_string(m.status)).c_str());
+    }
+    regressed += report.regressed();
+    missing += report.missing();
+  }
+
+  if (regressed + missing > 0) {
+    std::printf("perf_compare: %zu regressed, %zu missing%s\n", regressed,
+                missing, report_only ? " (report-only: not failing)" : "");
+    return report_only ? kExitOk : kExitRegressed;
+  }
+  std::printf("perf_compare: all metrics within thresholds\n");
+  return kExitOk;
+}
