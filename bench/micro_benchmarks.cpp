@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/experiment.hpp"
+#include "harness/session.hpp"
 #include "metrics/registry.hpp"
 #include "routing/unicast.hpp"
 #include "sim/simulator.hpp"
@@ -31,6 +32,47 @@ void BM_EventQueuePushPop(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+// The compiled-vs-interpreted data-plane pair: identical converged HBH
+// sessions on the ISP topology, per-iteration burst of emissions drained
+// through the simulator; only SessionConfig::fastpath differs. items/s is
+// data transmissions per second — the per-hop dispatch cost under the
+// microbench harness (bench/perf_dataplane is the report-grade version).
+void FanoutBench(benchmark::State& state, bool fastpath) {
+  Rng rng{9};
+  auto scenario = topo::make_isp();
+  topo::randomize_costs(scenario.topo, rng);
+  const auto picked = rng.sample(scenario.candidate_receivers(), 16);
+  harness::SessionConfig config{};
+  config.fastpath = fastpath;
+  harness::Session session{std::move(scenario), harness::Protocol::kHbh,
+                           config};
+  harness::ChannelHandle ch = session.default_channel();
+  Time delay = 0.1;
+  for (const NodeId r : picked) {
+    ch.subscribe(r, delay);
+    delay += 1.0;
+  }
+  session.run_for(delay + 240);
+  const std::uint64_t before =
+      session.network().counters().data_transmissions;
+  for (auto _ : state) {
+    for (int burst = 0; burst < 16; ++burst) (void)ch.inject_data();
+    session.run_for(30);
+  }
+  const std::uint64_t after = session.network().counters().data_transmissions;
+  state.SetItemsProcessed(static_cast<std::int64_t>(after - before));
+}
+
+void BM_InterpretedFanout(benchmark::State& state) {
+  FanoutBench(state, /*fastpath=*/false);
+}
+BENCHMARK(BM_InterpretedFanout);
+
+void BM_FastpathFanout(benchmark::State& state) {
+  FanoutBench(state, /*fastpath=*/true);
+}
+BENCHMARK(BM_FastpathFanout);
 
 // Soft-state workload shape: every protocol timer push is later cancelled
 // and re-armed (refresh), so cancel cost is as hot as push/pop cost.

@@ -15,17 +15,22 @@
 // with a tight band and the timings with a wide one.
 //
 // Knobs: HBH_SEED, HBH_DP_ROUNDS (measured emission rounds, default 64),
-// HBH_DP_WARMUP (unmeasured warmup rounds, default 8), HBH_PERF_OUT
-// (JSON path, default BENCH_perf_dataplane.json; empty string disables
-// the file), HBH_PROF_OUT (standalone phase profile).
+// HBH_DP_WARMUP (unmeasured warmup rounds, default 8), HBH_DP_BURST
+// (emissions per round, default 16 — a burst shares one drain, so the
+// wall clock measures fan-out work, not round bookkeeping), HBH_FASTPATH
+// (compiled fast path on/off; counts are byte-identical either way),
+// HBH_PERF_OUT (JSON path, default BENCH_perf_dataplane.json; empty
+// string disables the file), HBH_PROF_OUT (standalone phase profile).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "harness/session.hpp"
+#include "mcast/fastpath/compiled_forwarder.hpp"
 #include "metrics/json.hpp"
 #include "topo/builders.hpp"
 #include "topo/isp.hpp"
@@ -55,6 +60,15 @@ struct ProtocolResult {
   std::uint64_t alloc_bytes = 0;
   std::uint64_t queue_slots = 0;      ///< slot pool size after the loop
   std::uint64_t queue_pushes = 0;     ///< total pushes (reuse = pushes/slots)
+  fastpath::FastpathStats fastpath{};  ///< all zero with HBH_FASTPATH=0
+
+  /// Mean replication fan-out of the compiled batches (0 when off).
+  [[nodiscard]] double fanout_mean_batch() const {
+    return fastpath.fanout_batches > 0
+               ? static_cast<double>(fastpath.fanout_copies) /
+                     static_cast<double>(fastpath.fanout_batches)
+               : 0;
+  }
 
   [[nodiscard]] double packets_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(data_packets) / wall_seconds
@@ -67,9 +81,14 @@ struct ProtocolResult {
 };
 
 ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
-                            std::size_t rounds, std::size_t warmup_rounds) {
+                            std::size_t rounds, std::size_t warmup_rounds,
+                            std::size_t burst) {
+  // Phase attribution (and the fast path's per-hop wall sampling) reads
+  // the clock inside the measured loop, so the profiler is installed only
+  // when a profile artifact was actually requested via HBH_PROF_OUT.
   prof::PhaseProfiler profiler;
-  const prof::ScopedProfiler install{profiler};
+  std::optional<prof::ScopedProfiler> install;
+  if (!env_prof_out().empty()) install.emplace(profiler);
 
   // Same paired-trial construction as the figure sweeps: every protocol
   // sees identical costs and the same receiver set.
@@ -92,7 +111,7 @@ ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
     }
     session.run_for(delay + kConvergeTime);
     for (std::size_t i = 0; i < warmup_rounds; ++i) {
-      (void)ch.inject_data();
+      for (std::size_t b = 0; b < burst; ++b) (void)ch.inject_data();
       session.run_for(kRoundDrain);
     }
   }
@@ -104,7 +123,7 @@ ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
     const prof::AllocCounters alloc_before = prof::thread_alloc_counters();
     const auto start = Clock::now();
     for (std::size_t i = 0; i < rounds; ++i) {
-      (void)ch.inject_data();
+      for (std::size_t b = 0; b < burst; ++b) (void)ch.inject_data();
       session.run_for(kRoundDrain);
     }
     session.run_for(kTailDrain);
@@ -122,6 +141,11 @@ ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
     result.queue_pushes = session.simulator().queue().total_pushes();
   }
 
+  if (const fastpath::CompiledForwarder* fp = session.fastpath();
+      fp != nullptr) {
+    result.fastpath = fp->stats();
+  }
+  session.flush_fastpath_profile();  // fastpath/compile + fastpath/forward
   prof::process_profile().merge(to_string(protocol), profiler);
   return result;
 }
@@ -133,26 +157,32 @@ int main() {
   const std::uint64_t seed = env_seed();
   const std::size_t rounds = env_dp_rounds(64);
   const std::size_t warmup_rounds = env_dp_warmup(8);
+  const std::size_t burst = env_dp_burst(16);
 
   std::printf("=== perf_dataplane — data fan-out packets/sec ===\n");
-  std::printf("topology=ISP receivers=%zu rounds=%zu warmup=%zu seed=%llu\n\n",
-              kReceivers, rounds, warmup_rounds,
-              static_cast<unsigned long long>(seed));
+  std::printf(
+      "topology=ISP receivers=%zu rounds=%zu warmup=%zu burst=%zu "
+      "seed=%llu fastpath=%d\n\n",
+      kReceivers, rounds, warmup_rounds, burst,
+      static_cast<unsigned long long>(seed), env_fastpath() ? 1 : 0);
 
   std::vector<ProtocolResult> results;
   for (const harness::Protocol p : harness::all_protocols()) {
-    results.push_back(run_protocol(p, seed, rounds, warmup_rounds));
+    results.push_back(run_protocol(p, seed, rounds, warmup_rounds, burst));
   }
 
-  std::printf("%-10s %12s %12s %14s %14s %10s\n", "protocol", "data_pkts",
-              "ctrl_pkts", "packets/s", "events/s", "allocs");
+  std::printf("%-10s %12s %12s %14s %14s %10s %9s %9s\n", "protocol",
+              "data_pkts", "ctrl_pkts", "packets/s", "events/s", "allocs",
+              "fp_hits", "fp_batch");
   for (const ProtocolResult& r : results) {
-    std::printf("%-10s %12llu %12llu %14.0f %14.0f %10llu\n",
+    std::printf("%-10s %12llu %12llu %14.0f %14.0f %10llu %9llu %9.2f\n",
                 std::string(to_string(r.protocol)).c_str(),
                 static_cast<unsigned long long>(r.data_packets),
                 static_cast<unsigned long long>(r.control_packets),
                 r.packets_per_second(), r.events_per_second(),
-                static_cast<unsigned long long>(r.allocs));
+                static_cast<unsigned long long>(r.allocs),
+                static_cast<unsigned long long>(r.fastpath.hits),
+                r.fanout_mean_batch());
   }
 
   const std::string out_path = env_perf_out("BENCH_perf_dataplane.json");
@@ -172,6 +202,7 @@ int main() {
     w.member("receivers", static_cast<std::uint64_t>(kReceivers));
     w.member("rounds", static_cast<std::uint64_t>(rounds));
     w.member("warmup_rounds", static_cast<std::uint64_t>(warmup_rounds));
+    w.member("burst", static_cast<std::uint64_t>(burst));
     w.member("seed", seed);
     w.member("alloc_counting", prof::kAllocCountingCompiled);
     w.end_object();
@@ -190,6 +221,17 @@ int main() {
       w.member("alloc_bytes", r.alloc_bytes);
       w.member("queue_slots", r.queue_slots);
       w.member("queue_pushes", r.queue_pushes);
+      // Scrubbed (with the timings) from mode-equivalence comparisons:
+      // zero by definition when HBH_FASTPATH=0.
+      w.key("fastpath");
+      w.begin_object();
+      w.member("hits", r.fastpath.hits);
+      w.member("recompiles", r.fastpath.recompiles);
+      w.member("invalidations", r.fastpath.invalidations);
+      w.member("fanout_batches", r.fastpath.fanout_batches);
+      w.member("fanout_copies", r.fastpath.fanout_copies);
+      w.member("fanout_mean_batch", r.fanout_mean_batch());
+      w.end_object();
       w.end_object();
     }
     w.end_object();

@@ -126,6 +126,9 @@ TrialResult run_trial(const ExperimentSpec& spec, Protocol protocol,
     result.tree_cost = static_cast<double>(m.tree_cost);
     result.mean_delay = m.mean_delay;
     result.delivered = m.delivered_exactly_once();
+    // Batched fastpath/compile + fastpath/forward stats land in this
+    // trial's profiler before it merges into the per-protocol aggregate.
+    session.flush_fastpath_profile();
   }
   prof::process_profile().merge(to_string(protocol), profiler);
   return result;
@@ -359,6 +362,7 @@ bool write_run_report(const ExperimentSpec& spec,
       HBH_PHASE("measure");
       m = session.measure(spec.drain);
     }
+    session.flush_fastpath_profile();
     dive_install.reset();
     prof::process_profile().merge(to_string(sweep.protocol), dive_profiler);
     const prof::PhaseMap profile =

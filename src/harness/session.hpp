@@ -36,6 +36,10 @@
 #include "sim/simulator.hpp"
 #include "topo/builders.hpp"
 
+namespace hbh::fastpath {
+class CompiledForwarder;
+}
+
 namespace hbh::harness {
 
 class ChurnPlan;
@@ -55,6 +59,10 @@ struct SessionConfig {
   /// Multicast-incapable routers (unicast clouds): these get the default
   /// forwarding agent instead of a protocol agent.
   std::vector<NodeId> unicast_only{};
+  /// Compiled data-plane fast path (src/mcast/fastpath). Unset defers to
+  /// the HBH_FASTPATH environment knob (default on); simulation outputs
+  /// are byte-identical either way — only the wall clock changes.
+  std::optional<bool> fastpath{};
 };
 
 /// Result of one measurement round (one probe packet).
@@ -342,6 +350,18 @@ class Session {
   /// including per-channel source sub-agents.
   [[nodiscard]] net::AgentStats aggregate_agent_stats() const;
 
+  /// The compiled data-plane fast path; null when disabled (HBH_FASTPATH=0
+  /// or SessionConfig::fastpath = false).
+  [[nodiscard]] fastpath::CompiledForwarder* fastpath() noexcept {
+    return fastpath_.get();
+  }
+
+  /// Flushes the fast path's batched "fastpath/compile" / "fastpath/forward"
+  /// phase stats into the calling thread's installed PhaseProfiler. The
+  /// harness calls this at the end of each profiled trial; a no-op when the
+  /// fast path is off or no profiler is installed.
+  void flush_fastpath_profile();
+
  private:
   friend class ChannelHandle;
 
@@ -400,6 +420,9 @@ class Session {
   sim::Simulator sim_;
   std::unique_ptr<routing::UnicastRouting> routes_;
   std::unique_ptr<net::Network> net_;
+  /// Declared after net_ so it detaches from the network before the
+  /// network dies (destruction is reverse declaration order).
+  std::unique_ptr<fastpath::CompiledForwarder> fastpath_;
   /// Channels in creation order; id 0 is the default channel. A deque so
   /// channel() references stay stable across create_channel().
   std::deque<ChannelState> channels_;

@@ -92,27 +92,30 @@ bool ReceiverHost::connected(const net::Channel& channel) const {
          2.5 * config_.tree_period;
 }
 
+bool ReceiverHost::accept_data(const Packet& packet) {
+  // Unicast-addressed data (HBH/REUNITE) arrives with dst == us; PIM
+  // data arrives group-addressed over the access link. Either way it
+  // terminates here. Only *subscribed* arrivals count as deliveries —
+  // a stale REUNITE flow may keep addressing a departed receiver.
+  if (packet.dst != self_addr() && !subscribed(packet.channel)) return false;
+  if (subscribed(packet.channel)) {
+    const auto& d = packet.data();
+    trace_instant(packet.trace, "deliver", packet.channel, self_addr());
+    deliveries_.push_back(Delivery{packet.channel, d.probe, d.seq, d.sent_at,
+                                   simulator().now()});
+    if (sink_ != nullptr) {
+      sink_->on_data(self(), packet, simulator().now());
+    }
+    log(LogLevel::kTrace, to_string(self()), " got data seq=", d.seq,
+        " delay=", simulator().now() - d.sent_at);
+  }
+  return true;
+}
+
 void ReceiverHost::handle(Packet&& packet, NodeId from) {
   (void)from;
   if (packet.type == PacketType::kData) {
-    // Unicast-addressed data (HBH/REUNITE) arrives with dst == us; PIM
-    // data arrives group-addressed over the access link. Either way it
-    // terminates here. Only *subscribed* arrivals count as deliveries —
-    // a stale REUNITE flow may keep addressing a departed receiver.
-    if (packet.dst == self_addr() || subscribed(packet.channel)) {
-      if (subscribed(packet.channel)) {
-        const auto& d = packet.data();
-        trace_instant(packet.trace, "deliver", packet.channel, self_addr());
-        deliveries_.push_back(Delivery{packet.channel, d.probe, d.seq,
-                                       d.sent_at, simulator().now()});
-        if (sink_ != nullptr) {
-          sink_->on_data(self(), packet, simulator().now());
-        }
-        log(LogLevel::kTrace, to_string(self()), " got data seq=", d.seq,
-            " delay=", simulator().now() - d.sent_at);
-      }
-      return;
-    }
+    if (accept_data(packet)) return;
   }
   if (packet.dst == self_addr()) {
     // Control addressed to this receiver ends here. An *unmarked*

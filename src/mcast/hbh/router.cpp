@@ -271,6 +271,9 @@ void HbhRouter::on_fusion(Packet&& packet) {
     return;
   }
   apply_fusion(*it->second.mft, packet.fusion(), config_, now());
+  // Marks (F2) and fusion-born entries (F3) change the data-eligible
+  // target set without going through note_structural — always flag.
+  note_table_mutation();
 }
 
 void HbhRouter::on_data(Packet&& packet) {

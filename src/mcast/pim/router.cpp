@@ -24,15 +24,18 @@ void PimRouter::purge(const net::Channel& ch, const net::TraceContext& ctx) {
   if (it == groups_.end()) return;
   const bool tracing = ctx.active() && net().trace_hook() != nullptr;
   auto& oifs = it->second.oifs;
+  bool changed = false;
   for (auto e = oifs.begin(); e != oifs.end();) {
     if (e->second.dead(now())) {
       if (tracing) trace_instant(ctx, "evict", ch);
       e = oifs.erase(e);
+      changed = true;
     } else {
       e = std::next(e);
     }
   }
   if (oifs.empty()) groups_.erase(it);
+  if (changed) note_table_mutation();
 }
 
 void PimRouter::handle(Packet&& packet, NodeId from) {
@@ -70,6 +73,7 @@ void PimRouter::on_prune(Packet&& packet, NodeId from) {
   // re-installs it — the standard PIM prune-override compromise.
   if (it->second.oifs.erase(from) != 0) {
     trace_instant(packet.trace, "oif-prune", ch, packet.pim_join().receiver);
+    note_table_mutation();
   }
   if (it->second.oifs.empty()) {
     groups_.erase(it);
@@ -95,6 +99,7 @@ void PimRouter::on_join(Packet&& packet, NodeId from) {
   if (!inserted) it->second.refresh(config_, now());
   if (inserted) {
     trace_instant(packet.trace, "oif-install", ch, packet.pim_join().receiver);
+    note_table_mutation();
     log(LogLevel::kTrace, to_string(self()), " PIM oif += ", to_string(from),
         " for ", ch.to_string());
   }

@@ -32,6 +32,15 @@ class PimRouter : public net::ProtocolAgent {
   /// Outgoing interfaces currently installed for a channel (tests).
   [[nodiscard]] std::vector<NodeId> oifs(const net::Channel& ch) const;
 
+  /// Raw oif map for a channel, with soft-state entries (nullptr when the
+  /// router holds no group state). The compiled fast path reads neighbors
+  /// and expiry horizons from it.
+  [[nodiscard]] const std::map<NodeId, SoftEntry>* oif_entries(
+      const net::Channel& ch) const {
+    const auto it = groups_.find(ch);
+    return it == groups_.end() ? nullptr : &it->second.oifs;
+  }
+
  private:
   struct GroupState {
     Ipv4Addr root;

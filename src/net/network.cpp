@@ -34,6 +34,10 @@ void ProtocolAgent::forward(Packet&& packet) {
   net_->send(node_, std::move(packet));
 }
 
+void ProtocolAgent::note_table_mutation() const {
+  net_->note_table_mutation(node_);
+}
+
 TraceContext ProtocolAgent::trace_root(std::string_view name,
                                        const Channel& channel,
                                        Ipv4Addr subject) const {
@@ -95,6 +99,9 @@ ProtocolAgent& Network::attach(NodeId n, std::unique_ptr<ProtocolAgent> agent) {
   agent->node_ = n;
   agent->addr_ = node_address(n);
   agents_[n.index()] = std::move(agent);
+  // Replacing an agent (crash/restart) changes what the node forwards —
+  // any compiled forwarding block for it is stale.
+  note_table_mutation(n);
   return *agents_[n.index()];
 }
 
@@ -125,7 +132,7 @@ void Network::remove_tap(PacketTap* tap) noexcept {
   taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
 }
 
-void Network::send(NodeId from, Packet packet) {
+void Network::send(NodeId from, Packet packet, ArrivalSink* sink) {
   assert(topo_.contains(from));
   const NodeId dst = node_of(packet.dst);
   if (!dst.valid()) {
@@ -135,6 +142,10 @@ void Network::send(NodeId from, Packet packet) {
   if (dst == from) {
     // Self-addressed: deliver locally after zero delay (still through the
     // event queue so handling order stays deterministic).
+    if (sink != nullptr) {
+      sink->on_arrival(from, kNoNode, std::move(packet), 0);
+      return;
+    }
     sim_.schedule(0, [this, from, p = std::move(packet)]() mutable {
       deliver(from, kNoNode, std::move(p));
     });
@@ -152,10 +163,11 @@ void Network::send(NodeId from, Packet packet) {
   --packet.ttl;
   const auto link = topo_.find_link(from, next);
   assert(link.has_value());  // routing only uses existing edges
-  transmit(*link, std::move(packet));
+  transmit(*link, std::move(packet), sink);
 }
 
-void Network::send_direct(NodeId from, NodeId neighbor, Packet packet) {
+void Network::send_direct(NodeId from, NodeId neighbor, Packet packet,
+                          ArrivalSink* sink) {
   assert(topo_.contains(from) && topo_.contains(neighbor));
   const auto link = topo_.find_link(from, neighbor);
   assert(link.has_value());
@@ -164,7 +176,7 @@ void Network::send_direct(NodeId from, NodeId neighbor, Packet packet) {
     return;
   }
   --packet.ttl;
-  transmit(*link, std::move(packet));
+  transmit(*link, std::move(packet), sink);
 }
 
 void Network::set_impairment(NodeId from, NodeId to,
@@ -180,7 +192,7 @@ void Network::set_duplex_impairment(NodeId a, NodeId b,
   set_impairment(b, a, impairment);
 }
 
-void Network::transmit(LinkId link, Packet packet) {
+void Network::transmit(LinkId link, Packet packet, ArrivalSink* sink) {
   const Topology::Edge& edge = topo_.edge(link);
   if (!edge.up) {
     drop(edge.from, packet, "link-down");
@@ -230,12 +242,21 @@ void Network::transmit(LinkId link, Packet packet) {
     }
     if (tap_ != nullptr) tap_->on_transmit(edge, copy, sim_.now());
     for (PacketTap* tap : taps_) tap->on_transmit(edge, copy, sim_.now());
-    log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to), " ",
-        copy.describe());
-    sim_.schedule(edge.attrs.delay + added,
-                  [this, to, from, p = std::move(copy)]() mutable {
-                    deliver(to, from, std::move(p));
-                  });
+    // The log arguments (to_string, describe) dominate per-hop cost when
+    // evaluated eagerly; log() re-checks enabled(), so guarding here only
+    // skips the formatting, never a line that would have been printed.
+    if (Logger::instance().enabled(LogLevel::kTrace)) {
+      log(LogLevel::kTrace, to_string(edge.from), "->", to_string(edge.to),
+          " ", copy.describe());
+    }
+    if (sink != nullptr) {
+      sink->on_arrival(to, from, std::move(copy), edge.attrs.delay + added);
+    } else {
+      sim_.schedule(edge.attrs.delay + added,
+                    [this, to, from, p = std::move(copy)]() mutable {
+                      deliver(to, from, std::move(p));
+                    });
+    }
   };
   if (duplicate) send_copy(packet, dup_extra_delay);
   send_copy(std::move(packet), extra_delay);
@@ -244,6 +265,10 @@ void Network::transmit(LinkId link, Packet packet) {
 void Network::deliver(NodeId to, NodeId from, Packet packet) {
   ProtocolAgent& agent = *agents_[to.index()];
   ++agent.stats_.rx_by_type[static_cast<std::size_t>(packet.type)];
+  if (fastpath_ != nullptr && packet.type == PacketType::kData &&
+      fastpath_->on_deliver(to, from, packet)) {
+    return;
+  }
   agent.handle(std::move(packet), from);
 }
 

@@ -77,6 +77,17 @@ namespace hbh {
 [[nodiscard]] std::size_t env_dp_rounds(std::size_t fallback);
 [[nodiscard]] std::size_t env_dp_warmup(std::size_t fallback);
 
+/// HBH_DP_BURST — data emissions per perf_dataplane round (burst size).
+/// Packet counts in BENCH_perf_dataplane.json scale with it, so baseline
+/// comparisons must use the recorded value.
+[[nodiscard]] std::size_t env_dp_burst(std::size_t fallback);
+
+/// HBH_FASTPATH — nonzero (the default): Session installs the compiled
+/// data-plane fast path (src/mcast/fastpath); 0 = interpreted per-hop
+/// dispatch. Simulation outputs are byte-identical either way
+/// (docs/PERFORMANCE.md "The compiled data-plane fast path").
+[[nodiscard]] bool env_fastpath();
+
 /// HBH_LOG_LEVEL — trace|debug|info|warn|error; empty = keep default.
 [[nodiscard]] std::string env_log_level();
 
