@@ -40,6 +40,18 @@ foreach(needle
   endif()
 endforeach()
 
+if(CONGESTION)
+  foreach(needle
+      "\"congestion\"" "\"goodput_ratio\"" "\"queue_delay\""
+      "\"queue_limit\"" "\"aqm\"" "\"branching\"" "\"non_branching\""
+      "\"rp\"" "\"queued\"")
+    string(FIND "${doc}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "report ${OUT} is missing congestion needle ${needle}")
+    endif()
+  endforeach()
+endif()
+
 message(STATUS "report OK: ${OUT}")
 
 if(TRACE_OUT)

@@ -92,9 +92,12 @@ inline int run_figure(const char* figure, const char* paper_caption,
 /// HBH_REPORT support for benches that don't run a figure sweep: writes a
 /// report whose "runs" section still carries one instrumented trial per
 /// protocol (registry metrics, state time series, message counts).
+/// `extra` appends bench-specific top-level report sections
+/// (harness::ReportSectionHook semantics).
 inline void maybe_write_bench_report(
     const char* name, harness::TopoKind topology,
-    const harness::SessionHook& customize = {}) {
+    const harness::SessionHook& customize = {},
+    const harness::ReportSectionHook& extra = {}) {
   const harness::ExperimentSpec spec = spec_from_env(topology);
   const std::string path = env_report_path();
   if (!path.empty()) {
@@ -102,7 +105,8 @@ inline void maybe_write_bench_report(
     for (const harness::Protocol p : harness::all_protocols()) {
       results.push_back(harness::SweepResult{p, {}});
     }
-    if (harness::write_run_report(spec, results, name, path, customize)) {
+    if (harness::write_run_report(spec, results, name, path, customize,
+                                  extra)) {
       std::printf("report: %s\n", path.c_str());
     } else {
       std::fprintf(stderr, "error: cannot write HBH_REPORT=%s\n",

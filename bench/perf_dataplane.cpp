@@ -50,6 +50,14 @@ constexpr Time kConvergeTime = 240;   // control-plane warmup, as in figures
 constexpr Time kRoundDrain = 30;      // sim time per emission round
 constexpr Time kTailDrain = 60;       // final drain inside the timed window
 
+// Queued mode: the same loop with capacitated backbone links, so the hot
+// path includes EgressQueue admission (serialization + wait arithmetic,
+// drop-tail bookkeeping). Capacity is sized so bursts fill queues without
+// starving the loop — the mode measures queue-machinery overhead, and its
+// drop/admission counts are deterministic gate inputs.
+constexpr double kQueuedCapacity = 500;  // bytes per time unit
+constexpr std::size_t kQueuedLimit = 32;
+
 struct ProtocolResult {
   harness::Protocol protocol;
   std::uint64_t data_packets = 0;     ///< data transmissions, measured loop
@@ -60,6 +68,9 @@ struct ProtocolResult {
   std::uint64_t alloc_bytes = 0;
   std::uint64_t queue_slots = 0;      ///< slot pool size after the loop
   std::uint64_t queue_pushes = 0;     ///< total pushes (reuse = pushes/slots)
+  std::uint64_t queued_packets = 0;   ///< egress-queue admissions (queued mode)
+  std::uint64_t drops_queue_full = 0;  ///< drop-tail losses (queued mode)
+  std::uint64_t drops_red = 0;         ///< RED early drops (queued mode)
   fastpath::FastpathStats fastpath{};  ///< all zero with HBH_FASTPATH=0
 
   /// Mean replication fan-out of the compiled batches (0 when off).
@@ -82,7 +93,7 @@ struct ProtocolResult {
 
 ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
                             std::size_t rounds, std::size_t warmup_rounds,
-                            std::size_t burst) {
+                            std::size_t burst, bool queued) {
   // Phase attribution (and the fast path's per-hop wall sampling) reads
   // the clock inside the measured loop, so the profiler is installed only
   // when a profile artifact was actually requested via HBH_PROF_OUT.
@@ -95,6 +106,9 @@ ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
   Rng rng{seed};
   topo::Scenario scenario = topo::make_isp();
   topo::randomize_costs(scenario.topo, rng);
+  if (queued) {
+    topo::apply_backbone_capacity(scenario.topo, kQueuedCapacity, kQueuedLimit);
+  }
   auto candidates = scenario.candidate_receivers();
   const std::vector<NodeId> receivers = rng.sample(candidates, kReceivers);
 
@@ -135,6 +149,9 @@ ProtocolResult run_protocol(harness::Protocol protocol, std::uint64_t seed,
     result.control_packets =
         after.control_transmissions - before.control_transmissions;
     result.sim_events = session.simulator().executed() - events_before;
+    result.queued_packets = after.queued_packets - before.queued_packets;
+    result.drops_queue_full = after.drops_queue_full - before.drops_queue_full;
+    result.drops_red = after.drops_red - before.drops_red;
     result.allocs = alloc_after.allocs - alloc_before.allocs;
     result.alloc_bytes = alloc_after.bytes - alloc_before.bytes;
     result.queue_slots = session.simulator().queue().slots_allocated();
@@ -167,8 +184,12 @@ int main() {
       static_cast<unsigned long long>(seed), env_fastpath() ? 1 : 0);
 
   std::vector<ProtocolResult> results;
+  std::vector<ProtocolResult> queued_results;
   for (const harness::Protocol p : harness::all_protocols()) {
-    results.push_back(run_protocol(p, seed, rounds, warmup_rounds, burst));
+    results.push_back(
+        run_protocol(p, seed, rounds, warmup_rounds, burst, false));
+    queued_results.push_back(
+        run_protocol(p, seed, rounds, warmup_rounds, burst, true));
   }
 
   std::printf("%-10s %12s %12s %14s %14s %10s %9s %9s\n", "protocol",
@@ -183,6 +204,21 @@ int main() {
                 static_cast<unsigned long long>(r.allocs),
                 static_cast<unsigned long long>(r.fastpath.hits),
                 r.fanout_mean_batch());
+  }
+
+  std::printf("\nqueued mode (backbone capacity=%.0f B/tu, queue=%zu, "
+              "drop-tail):\n",
+              kQueuedCapacity, kQueuedLimit);
+  std::printf("%-10s %12s %12s %12s %14s\n", "protocol", "data_pkts",
+              "queued", "drops", "packets/s");
+  for (const ProtocolResult& r : queued_results) {
+    std::printf("%-10s %12llu %12llu %12llu %14.0f\n",
+                std::string(to_string(r.protocol)).c_str(),
+                static_cast<unsigned long long>(r.data_packets),
+                static_cast<unsigned long long>(r.queued_packets),
+                static_cast<unsigned long long>(r.drops_queue_full +
+                                                r.drops_red),
+                r.packets_per_second());
   }
 
   const std::string out_path = env_perf_out("BENCH_perf_dataplane.json");
@@ -234,6 +270,29 @@ int main() {
       w.end_object();
       w.end_object();
     }
+    w.end_object();
+    // Same loop with capacitated backbone links: the hot path now runs
+    // EgressQueue admission per data copy. Counts are deterministic; the
+    // baseline pins a throughput floor so queue arithmetic regressions on
+    // the data path trip the perf gate (docs/PERFORMANCE.md).
+    w.key("queued");
+    w.begin_object();
+    w.member("capacity", kQueuedCapacity);
+    w.member("queue_limit", static_cast<std::uint64_t>(kQueuedLimit));
+    w.key("protocols");
+    w.begin_object();
+    for (const ProtocolResult& r : queued_results) {
+      w.key(to_string(r.protocol));
+      w.begin_object();
+      w.member("data_packets", r.data_packets);
+      w.member("queued_packets", r.queued_packets);
+      w.member("drops_queue_full", r.drops_queue_full);
+      w.member("drops_red", r.drops_red);
+      w.member("wall_seconds", r.wall_seconds);
+      w.member("packets_per_second", r.packets_per_second());
+      w.end_object();
+    }
+    w.end_object();
     w.end_object();
     w.member("peak_rss_bytes", prof::peak_rss_bytes());
     w.end_object();

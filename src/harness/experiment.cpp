@@ -273,7 +273,8 @@ std::string format_csv(const std::vector<SweepResult>& results) {
 bool write_run_report(const ExperimentSpec& spec,
                       const std::vector<SweepResult>& results,
                       std::string_view figure, const std::string& path,
-                      const SessionHook& customize) {
+                      const SessionHook& customize,
+                      const ReportSectionHook& extra) {
   std::ofstream out(path);
   if (!out) return false;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -391,6 +392,8 @@ bool write_run_report(const ExperimentSpec& spec,
     w.end_object();
   }
   w.end_object();
+
+  if (extra) extra(w);
 
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - wall_start;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/session.hpp"
+#include "metrics/json.hpp"
 #include "topo/builders.hpp"
 #include "util/stats.hpp"
 
@@ -106,12 +107,18 @@ struct SweepResult {
 /// message/byte counts. `customize`, when set, runs on each instrumented
 /// session before the warmup — benches use it to re-apply their scenario
 /// conditions (e.g. fault injection) so the report reflects them.
-/// Returns false if the file could not be created.
+/// Returns false if the file could not be created. `extra`, when set, is
+/// called with the writer positioned inside the report's root object
+/// (after "runs", before "wall_seconds") — benches use it to append their
+/// own top-level sections (e.g. ablation_congestion's "congestion"); the
+/// hook must emit complete members (w.key(...) + balanced begin/end).
 using SessionHook = std::function<void(Session&)>;
+using ReportSectionHook = std::function<void(metrics::JsonWriter&)>;
 bool write_run_report(const ExperimentSpec& spec,
                       const std::vector<SweepResult>& results,
                       std::string_view figure, const std::string& path,
-                      const SessionHook& customize = {});
+                      const SessionHook& customize = {},
+                      const ReportSectionHook& extra = {});
 
 /// Honors HBH_REPORT=path.json (docs/OBSERVABILITY.md): writes the report
 /// there and returns true, or does nothing when the variable is unset.

@@ -19,6 +19,57 @@ net::ProtocolAgent& MultiSourceHost::add_source(
 void MultiSourceHost::start() {
   started_ = true;
   for (Sub& sub : subs_) sub.agent->start();
+  for (const auto& t : traffic_) arm_traffic(*t);
+}
+
+void MultiSourceHost::set_traffic(const net::Channel& channel,
+                                  const TrafficSpec& spec,
+                                  std::function<void()> emit) {
+  Traffic* slot = nullptr;
+  for (const auto& t : traffic_) {
+    if (t->channel == channel) {
+      slot = t.get();
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    traffic_.push_back(std::make_unique<Traffic>());
+    slot = traffic_.back().get();
+    slot->channel = channel;
+  }
+  slot->timer.reset();  // any previous cadence is gone
+  slot->spec = spec;
+  slot->emit = std::move(emit);
+  if (started_) arm_traffic(*slot);
+}
+
+const TrafficSpec& MultiSourceHost::traffic(const net::Channel& channel) const {
+  static const TrafficSpec kDefault{};
+  for (const auto& t : traffic_) {
+    if (t->channel == channel) return t->spec;
+  }
+  return kDefault;
+}
+
+void MultiSourceHost::arm_traffic(Traffic& t) {
+  if (!t.spec.active()) return;
+  const Time now = simulator().now();
+  if (t.spec.stop >= 0 && now > t.spec.stop) return;
+  t.timer = std::make_unique<sim::PeriodicTimer>(
+      simulator(), t.spec.interval(), [this, &t] { fire_traffic(t); });
+  // First emission lands exactly at spec.start (or immediately when that
+  // is already past), then every interval.
+  const Time first = t.spec.start > now ? t.spec.start - now : 0;
+  t.timer->start(first);
+}
+
+void MultiSourceHost::fire_traffic(Traffic& t) {
+  if (t.spec.stop >= 0 && simulator().now() > t.spec.stop) {
+    t.timer->stop();
+    return;
+  }
+  count_timer_fire();
+  t.emit();
 }
 
 void MultiSourceHost::handle(net::Packet&& packet, NodeId from) {

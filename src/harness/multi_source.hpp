@@ -13,11 +13,14 @@
 // identical to attaching that source agent directly.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "harness/session.hpp"
 #include "net/channel.hpp"
 #include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace hbh::harness {
 
@@ -45,12 +48,34 @@ class MultiSourceHost : public net::ProtocolAgent {
   /// the composite by the Network; timer fires accrue in the sub-agents.
   [[nodiscard]] net::AgentStats sub_stats() const;
 
+  /// (Re)configures autonomous data emission for `channel`: `emit` fires
+  /// every spec.interval() from spec.start until spec.stop (TrafficSpec
+  /// semantics). Replaces any previous spec for the channel; a rate-0 spec
+  /// just cancels. Armed immediately if the simulation started, else at
+  /// start(). Each firing counts as one composite timer fire.
+  void set_traffic(const net::Channel& channel, const TrafficSpec& spec,
+                   std::function<void()> emit);
+
+  /// The active traffic spec for `channel` (default spec if none).
+  [[nodiscard]] const TrafficSpec& traffic(const net::Channel& channel) const;
+
  private:
   struct Sub {
     net::Channel channel;
     std::unique_ptr<net::ProtocolAgent> agent;
   };
+  struct Traffic {
+    net::Channel channel;
+    TrafficSpec spec;
+    std::function<void()> emit;
+    std::unique_ptr<sim::PeriodicTimer> timer;
+  };
+
+  void arm_traffic(Traffic& t);
+  void fire_traffic(Traffic& t);
+
   std::vector<Sub> subs_;
+  std::vector<std::unique_ptr<Traffic>> traffic_;  ///< stable across growth
   bool started_ = false;
 };
 

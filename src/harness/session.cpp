@@ -68,6 +68,14 @@ std::size_t ChannelHandle::inject_data() {
   return session_->inject_data_on(id_);
 }
 
+void ChannelHandle::set_traffic(const TrafficSpec& spec) {
+  session_->set_traffic_on(id_, spec);
+}
+
+const TrafficSpec& ChannelHandle::traffic() const {
+  return session_->channels_.at(id_).traffic;
+}
+
 std::uint64_t ChannelHandle::total_structural_changes() const {
   return session_->structural_changes_of(id_);
 }
@@ -300,8 +308,9 @@ Session::SourceAgent Session::make_source_agent(
     case Protocol::kHbh: {
       auto source = std::make_unique<mcast::hbh::HbhSource>(channel, timers);
       auto* src = source.get();
-      out.send_data = [src](std::uint64_t probe, std::uint32_t seq) {
-        return src->send_data(probe, seq);
+      out.send_data = [src](std::uint64_t probe, std::uint32_t seq,
+                            std::uint32_t pad) {
+        return src->send_data(probe, seq, pad);
       };
       out.agent = std::move(source);
       break;
@@ -310,8 +319,9 @@ Session::SourceAgent Session::make_source_agent(
       auto source =
           std::make_unique<mcast::reunite::ReuniteSource>(channel, timers);
       auto* src = source.get();
-      out.send_data = [src](std::uint64_t probe, std::uint32_t seq) {
-        return src->send_data(probe, seq);
+      out.send_data = [src](std::uint64_t probe, std::uint32_t seq,
+                            std::uint32_t pad) {
+        return src->send_data(probe, seq, pad);
       };
       out.agent = std::move(source);
       break;
@@ -324,8 +334,9 @@ Session::SourceAgent Session::make_source_agent(
                                         : mcast::pim::PimMode::kSourceTree,
           rp.valid() ? net_->address_of(rp) : kNoAddr);
       auto* src = source.get();
-      out.send_data = [src](std::uint64_t probe, std::uint32_t seq) {
-        return src->send_data(probe, seq);
+      out.send_data = [src](std::uint64_t probe, std::uint32_t seq,
+                            std::uint32_t pad) {
+        return src->send_data(probe, seq, pad);
       };
       out.agent = std::move(source);
       break;
@@ -358,7 +369,8 @@ void Session::install_agents(const SessionConfig& config) {
 }
 
 ChannelHandle Session::create_channel(NodeId source_host,
-                                      std::optional<mcast::McastConfig> timers) {
+                                      std::optional<mcast::McastConfig> timers,
+                                      const TrafficSpec& traffic) {
   assert(source_host.valid());
   ChannelState state;
   state.source_host = source_host;
@@ -392,7 +404,13 @@ ChannelHandle Session::create_channel(NodeId source_host,
   state.send_data = std::move(src.send_data);
   composite->add_source(state.channel, std::move(src.agent));
   channels_.push_back(std::move(state));
-  return ChannelHandle{this, static_cast<ChannelId>(channels_.size() - 1)};
+  const auto id = static_cast<ChannelId>(channels_.size() - 1);
+  // Installed through set_traffic_on so the default (inactive) spec takes
+  // the same zero-event path as legacy callers.
+  if (traffic.active() || traffic.payload_bytes > 0) {
+    set_traffic_on(id, traffic);
+  }
+  return ChannelHandle{this, id};
 }
 
 ChannelHandle Session::channel_handle(ChannelId id) {
@@ -447,7 +465,9 @@ Measurement Session::measure_on(ChannelId id, Time drain) {
     receiver->set_sink(active_probe_.get());
   }
 
-  const std::size_t sent = ch.send_data(active_probe_->probe_id(), ch.next_seq++);
+  const std::size_t sent = ch.send_data(active_probe_->probe_id(),
+                                        ch.next_seq++,
+                                        ch.traffic.payload_bytes);
   (void)sent;
   sim_.run_for(drain);
 
@@ -468,7 +488,19 @@ std::size_t Session::inject_data_on(ChannelId id) {
   ChannelState& ch = channels_.at(id);
   // probe id 0 = untagged: the packet is ordinary traffic, invisible to
   // any DataProbe a concurrent measure() installs.
-  return ch.send_data(0, ch.next_seq++);
+  return ch.send_data(0, ch.next_seq++, ch.traffic.payload_bytes);
+}
+
+void Session::set_traffic_on(ChannelId id, const TrafficSpec& spec) {
+  ChannelState& ch = channels_.at(id);
+  ch.traffic = spec;
+  MultiSourceHost* host = source_hosts_.at(ch.source_host);
+  // The emission callback re-reads the ChannelState each firing, so a
+  // later set_traffic (payload change) or seq progression is honored.
+  host->set_traffic(ch.channel, spec, [this, id] {
+    ChannelState& c = channels_.at(id);
+    (void)c.send_data(0, c.next_seq++, c.traffic.payload_bytes);
+  });
 }
 
 void Session::schedule_churn(ChannelId id, const ChurnPlan& plan) {
@@ -503,8 +535,9 @@ void Session::set_link_cost(NodeId a, NodeId b, double cost) {
   const auto ab = scenario_.topo.find_link(a, b);
   const auto ba = scenario_.topo.find_link(b, a);
   assert(ab.has_value() && ba.has_value());
-  scenario_.topo.set_attrs(*ab, net::LinkAttrs{cost, cost});
-  scenario_.topo.set_attrs(*ba, net::LinkAttrs{cost, cost});
+  // Cost/delay only: a capacitated link keeps its capacity across churn.
+  scenario_.topo.set_cost_delay(*ab, cost, cost);
+  scenario_.topo.set_cost_delay(*ba, cost, cost);
   recompute_routes();
 }
 
@@ -742,6 +775,29 @@ StateCensus Session::state_census() const {
     if (control + forwarding > 0) ++census.routers_with_state;
   }
   return census;
+}
+
+RouterClass Session::router_class(NodeId router, ChannelId id) const {
+  if (is_unicast_only(router) || crashed(router)) return RouterClass::kNone;
+  const ChannelState& ch = channels_.at(id);
+  const auto [control, forwarding] = router_channel_state(router, ch.channel);
+  if (control + forwarding == 0) return RouterClass::kNone;
+  // Same classification rules as aggregate_census (kept in sync).
+  if (protocol_ == Protocol::kPimSm && router == ch.rp) return RouterClass::kRp;
+  if (protocol_ == Protocol::kPimSm || protocol_ == Protocol::kPimSs) {
+    return forwarding >= 2 ? RouterClass::kBranching
+                           : RouterClass::kNonBranching;
+  }
+  return forwarding > 0 ? RouterClass::kBranching : RouterClass::kNonBranching;
+}
+
+void Session::apply_backbone_capacity(double capacity, std::size_t queue_limit,
+                                      net::AqmPolicy aqm) {
+  topo::apply_backbone_capacity(scenario_.topo, capacity, queue_limit, aqm);
+  // Forwarding decisions do not depend on capacity (transmit reads the
+  // edge live) and costs are untouched, so no route recompute is needed;
+  // the epoch bump keeps the compiled-plane invariant airtight anyway.
+  if (fastpath_) fastpath_->invalidate_all();
 }
 
 AggregateCensus Session::aggregate_census() const {

@@ -117,6 +117,32 @@ struct AggregateCensus {
 /// Identifies one channel within its Session (0 = the default channel).
 using ChannelId = std::uint32_t;
 
+/// Explicit description of a channel's data traffic (docs/CHANNELS.md).
+/// The default spec (rate 0) emits nothing on its own — exactly the legacy
+/// behavior where data flows only when measure()/inject_data() is called —
+/// so existing callers are byte-identical. `payload_bytes` applies to
+/// *every* data packet the channel emits (autonomous, injected, probes):
+/// that many zero pad bytes ride on the wire for capacity accounting.
+struct TrafficSpec {
+  double rate = 0.0;  ///< autonomous emissions per time unit (0 = none)
+  std::uint32_t payload_bytes = 0;  ///< extra payload bytes per data packet
+  Time start = 0.0;   ///< absolute sim time the emission timer begins
+  Time stop = -1.0;   ///< absolute sim time emission ceases (< 0 = never)
+
+  [[nodiscard]] bool active() const noexcept { return rate > 0; }
+  [[nodiscard]] Time interval() const noexcept { return 1.0 / rate; }
+};
+
+/// Classification of one router with respect to one channel — the unit the
+/// per-class congestion-loss breakdown attributes drops to. Matches
+/// aggregate_census's rules (see AggregateCensus).
+enum class RouterClass : std::uint8_t {
+  kNone,          ///< no live state for the channel
+  kNonBranching,  ///< MCT only (HBH/REUNITE) or exactly 1 oif (PIM)
+  kBranching,     ///< live MFT (HBH/REUNITE) or ≥2 oifs (PIM)
+  kRp,            ///< the PIM-SM rendez-vous point for this channel
+};
+
 /// A lightweight per-channel view onto a Session. Copyable; valid for the
 /// Session's lifetime. Obtained from Session::create_channel() /
 /// default_channel() / channel_handle().
@@ -149,6 +175,13 @@ class ChannelHandle {
   /// the source sent. With tracing enabled the emission opens a "data"
   /// root span whose replication fan-out and deliveries are descendants.
   std::size_t inject_data();
+
+  /// (Re)configures this channel's autonomous traffic: an emission timer
+  /// on the source host fires every 1/rate from `spec.start` to
+  /// `spec.stop`, each firing a plain inject_data carrying
+  /// `spec.payload_bytes` of padding. A rate-0 spec stops emission.
+  void set_traffic(const TrafficSpec& spec);
+  [[nodiscard]] const TrafficSpec& traffic() const;
 
   /// Structural table changes attributed to this channel (HBH/REUNITE).
   [[nodiscard]] std::uint64_t total_structural_changes() const;
@@ -197,7 +230,8 @@ class Session {
   /// the session-wide soft-state timers for this channel's source agent.
   ChannelHandle create_channel(
       NodeId source_host,
-      std::optional<mcast::McastConfig> timers = std::nullopt);
+      std::optional<mcast::McastConfig> timers = std::nullopt,
+      const TrafficSpec& traffic = {});
 
   [[nodiscard]] std::size_t channel_count() const noexcept {
     return channels_.size();
@@ -208,6 +242,18 @@ class Session {
   /// Cross-channel router-state census split by router class — the
   /// aggregate-state scaling measurement (docs/CHANNELS.md).
   [[nodiscard]] AggregateCensus aggregate_census() const;
+
+  /// Classifies `router` for channel `id` right now (live soft state).
+  [[nodiscard]] RouterClass router_class(NodeId router, ChannelId id) const;
+
+  /// Applies `capacity` (bytes/time-unit) with the given queue
+  /// configuration to every backbone (router-router) directed edge; host
+  /// access links stay uncapacitated. Costs, delays, and routing are
+  /// untouched, so an uncapacitated run with the same seed sees identical
+  /// control-plane behavior.
+  void apply_backbone_capacity(double capacity,
+                               std::size_t queue_limit = net::kDefaultQueueLimit,
+                               net::AqmPolicy aqm = net::AqmPolicy::kDropTail);
 
   // --- Default-channel forwards (the original single-channel API) --------
 
@@ -365,19 +411,24 @@ class Session {
  private:
   friend class ChannelHandle;
 
+  /// Data injector bound to a channel's source agent: (probe, seq, pad).
+  using SendDataFn =
+      std::function<std::size_t(std::uint64_t, std::uint32_t, std::uint32_t)>;
+
   /// State the session keeps per channel.
   struct ChannelState {
     net::Channel channel;
     NodeId source_host = kNoNode;
     NodeId rp = kNoNode;  ///< PIM-SM: the RP serving this channel
-    std::function<std::size_t(std::uint64_t, std::uint32_t)> send_data;
+    SendDataFn send_data;
     std::uint32_t next_seq = 0;
+    TrafficSpec traffic{};
   };
 
   /// A protocol source agent plus its bound data injector.
   struct SourceAgent {
     std::unique_ptr<net::ProtocolAgent> agent;
-    std::function<std::size_t(std::uint64_t, std::uint32_t)> send_data;
+    SendDataFn send_data;
   };
 
   void install_agents(const SessionConfig& config);
@@ -397,6 +448,7 @@ class Session {
   [[nodiscard]] std::vector<NodeId> members_of(ChannelId id) const;
   Measurement measure_on(ChannelId id, Time drain);
   std::size_t inject_data_on(ChannelId id);
+  void set_traffic_on(ChannelId id, const TrafficSpec& spec);
   [[nodiscard]] std::uint64_t structural_changes_of(ChannelId id) const;
   void schedule_churn(ChannelId id, const ChurnPlan& plan);
 

@@ -81,7 +81,8 @@ void HbhSource::handle(Packet&& packet, NodeId from) {
   }
 }
 
-std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq,
+                                 std::uint32_t pad) {
   HBH_PHASE("data_fanout");
   const Time now = simulator().now();
   // One emission = one root span; the replication fan-out downstream and
@@ -100,7 +101,7 @@ std::size_t HbhSource::send_data(std::uint64_t probe, std::uint32_t seq) {
     data.channel = channel_;
     data.type = PacketType::kData;
     data.trace = ctx;
-    data.payload = net::DataPayload{probe, seq, now, false};
+    data.payload = net::DataPayload{probe, seq, now, false, pad};
     forward(std::move(data));
   }
   return targets.size();

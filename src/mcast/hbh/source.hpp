@@ -26,8 +26,10 @@ class HbhSource : public net::ProtocolAgent {
   void handle(net::Packet&& packet, NodeId from) override;
 
   /// Emits one data packet (stamped with the current time) toward every
-  /// data-eligible MFT entry. Returns the number of copies sent.
-  std::size_t send_data(std::uint64_t probe, std::uint32_t seq);
+  /// data-eligible MFT entry; `pad` extra payload bytes ride along for
+  /// capacity accounting. Returns the number of copies sent.
+  std::size_t send_data(std::uint64_t probe, std::uint32_t seq,
+                        std::uint32_t pad = 0);
 
   [[nodiscard]] const net::Channel& channel() const noexcept {
     return channel_;

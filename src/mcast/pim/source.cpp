@@ -18,7 +18,8 @@ void PimSource::handle(Packet&& packet, NodeId from) {
   net::ProtocolAgent::handle(std::move(packet), from);
 }
 
-std::size_t PimSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+std::size_t PimSource::send_data(std::uint64_t probe, std::uint32_t seq,
+                                 std::uint32_t pad) {
   HBH_PHASE("data_fanout");
   Packet data;
   data.src = self_addr();
@@ -31,8 +32,8 @@ std::size_t PimSource::send_data(std::uint64_t probe, std::uint32_t seq) {
   if (mode_ == PimMode::kSharedTree) {
     assert(!rp_.unspecified());
     data.dst = rp_;
-    data.payload =
-        net::DataPayload{probe, seq, simulator().now(), /*encapsulated=*/true};
+    data.payload = net::DataPayload{probe, seq, simulator().now(),
+                                    /*encapsulated=*/true, pad};
     forward(std::move(data));
     return 1;
   }
@@ -40,7 +41,7 @@ std::size_t PimSource::send_data(std::uint64_t probe, std::uint32_t seq) {
   // PIM-SS: group-addressed over the access link; the first-hop router
   // replicates down the reverse SPT.
   data.dst = channel_.group.addr();
-  data.payload = net::DataPayload{probe, seq, simulator().now(), false};
+  data.payload = net::DataPayload{probe, seq, simulator().now(), false, pad};
   const auto links = net().topology().out_links(self());
   assert(!links.empty());  // hosts are degree-1 stubs
   const NodeId access_router = net().topology().edge(links[0]).to;

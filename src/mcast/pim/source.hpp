@@ -24,9 +24,11 @@ class PimSource : public net::ProtocolAgent {
 
   void handle(net::Packet&& packet, NodeId from) override;
 
-  /// Emits one data packet. Returns the number of copies sent (always 1;
-  /// replication happens inside the network).
-  std::size_t send_data(std::uint64_t probe, std::uint32_t seq);
+  /// Emits one data packet (`pad` extra payload bytes for capacity
+  /// accounting). Returns the number of copies sent (always 1; replication
+  /// happens inside the network).
+  std::size_t send_data(std::uint64_t probe, std::uint32_t seq,
+                        std::uint32_t pad = 0);
 
   [[nodiscard]] const net::Channel& channel() const noexcept {
     return channel_;

@@ -97,7 +97,8 @@ void ReuniteSource::handle(Packet&& packet, NodeId from) {
       mft_->to_string(now));
 }
 
-std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq) {
+std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq,
+                                     std::uint32_t pad) {
   HBH_PHASE("data_fanout");
   const Time now = simulator().now();
   // One emission = one root span; replication fan-out and deliveries all
@@ -113,7 +114,7 @@ std::size_t ReuniteSource::send_data(std::uint64_t probe, std::uint32_t seq) {
     data.channel = channel_;
     data.type = PacketType::kData;
     data.trace = ctx;
-    data.payload = net::DataPayload{probe, seq, now, false};
+    data.payload = net::DataPayload{probe, seq, now, false, pad};
     forward(std::move(data));
     ++copies;
   };

@@ -20,8 +20,10 @@ class ReuniteSource : public net::ProtocolAgent {
 
   void handle(net::Packet&& packet, NodeId from) override;
 
-  /// Emits one data packet round. Returns number of copies sent.
-  std::size_t send_data(std::uint64_t probe, std::uint32_t seq);
+  /// Emits one data packet round (`pad` extra payload bytes for capacity
+  /// accounting). Returns number of copies sent.
+  std::size_t send_data(std::uint64_t probe, std::uint32_t seq,
+                        std::uint32_t pad = 0);
 
   [[nodiscard]] const net::Channel& channel() const noexcept {
     return channel_;

@@ -35,4 +35,23 @@ void NetworkStatsTap::on_drop(NodeId at, const net::Packet& packet,
   registry_.counter("net.drops." + std::string{reason}).inc();
 }
 
+std::vector<double> queue_delay_bounds() {
+  // Serialization of a ~40-byte packet at the capacities the congestion
+  // ablation sweeps is O(0.1..1) time units; a full default queue (64)
+  // backs up to O(100). Log-ish spacing covers both ends.
+  return {0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+}
+
+void NetworkStatsTap::on_queue(const net::Topology::Edge& edge,
+                               const net::Packet& packet, Time wait,
+                               Time serialization, Time now) {
+  (void)edge, (void)packet, (void)now;
+  if (queue_delay_ == nullptr) {
+    queue_delay_ = &registry_.histogram("net.queue_delay", queue_delay_bounds());
+    queue_wait_ = &registry_.histogram("net.queue_wait", queue_delay_bounds());
+  }
+  queue_delay_->observe(wait + serialization);
+  queue_wait_->observe(wait);
+}
+
 }  // namespace hbh::metrics

@@ -15,6 +15,11 @@
 
 namespace hbh::metrics {
 
+/// Bucket bounds (time units) for the `net.queue_delay` histogram. Shared
+/// with benches that read the histogram back, so a find-or-create from
+/// either side resolves to identical buckets.
+[[nodiscard]] std::vector<double> queue_delay_bounds();
+
 class NetworkStatsTap : public net::PacketTap {
  public:
   explicit NetworkStatsTap(Registry& registry);
@@ -23,6 +28,8 @@ class NetworkStatsTap : public net::PacketTap {
                    Time now) override;
   void on_drop(NodeId at, const net::Packet& packet, std::string_view reason,
                Time now) override;
+  void on_queue(const net::Topology::Edge& edge, const net::Packet& packet,
+                Time wait, Time serialization, Time now) override;
 
  private:
   Registry& registry_;
@@ -30,6 +37,10 @@ class NetworkStatsTap : public net::PacketTap {
   std::array<Counter*, net::kPacketTypeCount> tx_bytes_{};
   Counter* drops_;
   Histogram* packet_bytes_;
+  // Created lazily on the first queue admission: an uncapacitated run
+  // never registers queue metrics, keeping its report byte-identical.
+  Histogram* queue_delay_ = nullptr;
+  Histogram* queue_wait_ = nullptr;
 };
 
 }  // namespace hbh::metrics

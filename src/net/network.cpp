@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "net/wire.hpp"
 #include "util/log.hpp"
 
 namespace hbh::net {
@@ -192,10 +193,102 @@ void Network::set_duplex_impairment(NodeId a, NodeId b,
   set_impairment(b, a, impairment);
 }
 
+Network::EgressQueue& Network::egress(LinkId link) {
+  if (queues_.size() <= link.index()) {
+    queues_.resize(link.index() + std::size_t{1});
+  }
+  return queues_[link.index()];
+}
+
+void Network::seed_aqm(std::uint64_t seed) {
+  aqm_seed_ = seed;
+  queues_.clear();
+}
+
+std::size_t Network::queue_depth(LinkId link) const {
+  if (link.index() >= queues_.size()) return 0;
+  const EgressQueue& q = queues_[link.index()];
+  std::size_t depth = 0;
+  for (const Time t : q.departures) {
+    if (t > sim_.now()) ++depth;
+  }
+  return depth;
+}
+
+bool Network::red_rejects(EgressQueue& q, LinkId link, const LinkSpec& spec,
+                          std::size_t occupancy) {
+  // Classic RED (Floyd/Jacobson) on an EWMA of the instantaneous
+  // occupancy, thresholds fixed at 1/4 and 3/4 of the queue limit.
+  constexpr double kWeight = 0.25;
+  constexpr double kMaxProb = 0.1;
+  q.red_avg += kWeight * (static_cast<double>(occupancy) - q.red_avg);
+  const double min_th = 0.25 * static_cast<double>(spec.queue_limit);
+  const double max_th = 0.75 * static_cast<double>(spec.queue_limit);
+  if (q.red_avg < min_th) return false;
+  if (q.red_avg >= max_th) return true;
+  if (!q.red_seeded) {
+    // Same stream-derivation contract as ImpairmentPlane: the link's
+    // decision sequence depends only on (seed, link index).
+    std::uint64_t mix = aqm_seed_ ^ (0x9E3779B97F4A7C15ull * (link.index() + 1));
+    q.red_rng.reseed(splitmix64(mix));
+    q.red_seeded = true;
+  }
+  const double p = kMaxProb * (q.red_avg - min_th) / (max_th - min_th);
+  return q.red_rng.chance(p);
+}
+
+bool Network::admit(LinkId link, const Topology::Edge& edge,
+                    const Packet& packet, Time& queue_delay) {
+  EgressQueue& q = egress(link);
+  const Time now = sim_.now();
+  while (!q.departures.empty() && q.departures.front() <= now) {
+    q.departures.pop_front();
+  }
+  const std::size_t occupancy = q.departures.size();
+  if (occupancy >= edge.attrs.queue_limit) {
+    drop(edge.from, packet, "queue-full");
+    return false;
+  }
+  if (edge.attrs.aqm == AqmPolicy::kRed &&
+      red_rejects(q, link, edge.attrs, occupancy)) {
+    drop(edge.from, packet, "red-early");
+    return false;
+  }
+  const Time serialization = edge.attrs.serialization_time(encoded_size(packet));
+  const Time start = q.busy_until > now ? q.busy_until : now;
+  const Time wait = start - now;
+  q.busy_until = start + serialization;
+  q.departures.push_back(q.busy_until);
+  ++counters_.queued_packets;
+  if (tap_ != nullptr) {
+    tap_->on_queue(edge, packet, wait, serialization, now);
+  }
+  for (PacketTap* tap : taps_) {
+    tap->on_queue(edge, packet, wait, serialization, now);
+  }
+  queue_delay = wait + serialization;
+  return true;
+}
+
 void Network::transmit(LinkId link, Packet packet, ArrivalSink* sink) {
   const Topology::Edge& edge = topo_.edge(link);
   if (!edge.up) {
     drop(edge.from, packet, "link-down");
+    return;
+  }
+
+  // Capacitated links model store-and-forward for *data*: the copy first
+  // clears the bounded egress queue (or is dropped there), then spends
+  // wait + serialization before propagation starts. Control packets ride
+  // a priority lane — classic CS6 treatment: they are 20-40 bytes against
+  // kilobyte-scale data, so the model charges them neither queue slots
+  // nor serialization, and soft state survives data-plane congestion.
+  // An injected duplicate shares the original's queue slot — duplication
+  // happens on the wire, not in the buffer. capacity == 0 (every
+  // pre-congestion experiment) takes exactly one predicted-false branch.
+  Time queue_delay = 0;
+  if (edge.attrs.capacitated() && packet.type == PacketType::kData &&
+      !admit(link, edge, packet, queue_delay)) {
     return;
   }
 
@@ -227,6 +320,9 @@ void Network::transmit(LinkId link, Packet packet, ArrivalSink* sink) {
   const NodeId to = edge.to;
   const NodeId from = edge.from;
   const auto send_copy = [&](Packet copy, Time added) {
+    // Arrival = queue wait + serialization + propagation (+ impairment
+    // jitter); queue_delay is 0 on uncapacitated links.
+    const Time latency = queue_delay + edge.attrs.delay + added;
     ++counters_.transmissions;
     if (copy.type == PacketType::kData) {
       ++counters_.data_transmissions;
@@ -236,9 +332,8 @@ void Network::transmit(LinkId link, Packet packet, ArrivalSink* sink) {
     if (trace_hook_ != nullptr && copy.trace.active()) {
       // Each wire copy becomes its own transmit span; the in-flight packet
       // carries that span so the next hop's work parents onto this hop.
-      copy.trace = trace_hook_->on_transmit(edge, copy, sim_.now(),
-                                            sim_.now() + edge.attrs.delay +
-                                                added);
+      copy.trace =
+          trace_hook_->on_transmit(edge, copy, sim_.now(), sim_.now() + latency);
     }
     if (tap_ != nullptr) tap_->on_transmit(edge, copy, sim_.now());
     for (PacketTap* tap : taps_) tap->on_transmit(edge, copy, sim_.now());
@@ -250,12 +345,11 @@ void Network::transmit(LinkId link, Packet packet, ArrivalSink* sink) {
           " ", copy.describe());
     }
     if (sink != nullptr) {
-      sink->on_arrival(to, from, std::move(copy), edge.attrs.delay + added);
+      sink->on_arrival(to, from, std::move(copy), latency);
     } else {
-      sim_.schedule(edge.attrs.delay + added,
-                    [this, to, from, p = std::move(copy)]() mutable {
-                      deliver(to, from, std::move(p));
-                    });
+      sim_.schedule(latency, [this, to, from, p = std::move(copy)]() mutable {
+        deliver(to, from, std::move(p));
+      });
     }
   };
   if (duplicate) send_copy(packet, dup_extra_delay);
@@ -279,6 +373,10 @@ void Network::drop(NodeId at, const Packet& packet, std::string_view reason) {
     ++counters_.drops_link_down;
   } else if (reason == "loss") {
     ++counters_.drops_loss;
+  } else if (reason == "queue-full") {
+    ++counters_.drops_queue_full;
+  } else if (reason == "red-early") {
+    ++counters_.drops_red;
   } else {
     ++counters_.drops_no_route;
   }

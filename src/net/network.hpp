@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string_view>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "routing/unicast.hpp"
 #include "sim/simulator.hpp"
 #include "util/ipv4.hpp"
+#include "util/rng.hpp"
 
 namespace hbh::fastpath {
 class CompiledForwarder;  // src/mcast/fastpath — friend of Network below
@@ -205,6 +207,15 @@ class PacketTap {
                        std::string_view reason, Time now) {
     (void)at, (void)packet, (void)reason, (void)now;
   }
+  /// A data copy was admitted to a capacitated link's egress queue: it
+  /// starts serializing after `wait` and arrives at `now + wait +
+  /// serialization + propagation`. Never called for uncapacitated links
+  /// or for control packets (those ride the priority lane — see
+  /// Network::transmit).
+  virtual void on_queue(const Topology::Edge& edge, const Packet& packet,
+                        Time wait, Time serialization, Time now) {
+    (void)edge, (void)packet, (void)wait, (void)serialization, (void)now;
+  }
 };
 
 /// Aggregate fabric counters (cheap always-on accounting).
@@ -219,6 +230,11 @@ struct NetworkCounters {
   std::uint64_t duplicates_injected = 0;  ///< impairment duplication
   std::uint64_t reordered = 0;            ///< copies given extra jitter
   std::uint64_t local_sink = 0;  ///< packets consumed by the default agent
+  // Congestion accounting (data packets only — control packets bypass the
+  // queues). All zero unless some link is capacitated.
+  std::uint64_t drops_queue_full = 0;  ///< drop-tail egress overflow
+  std::uint64_t drops_red = 0;         ///< RED early drops
+  std::uint64_t queued_packets = 0;    ///< copies admitted to an egress queue
 };
 
 class Network {
@@ -320,6 +336,18 @@ class Network {
   void set_impairment(NodeId from, NodeId to, const Impairment& impairment);
   void set_duplex_impairment(NodeId a, NodeId b, const Impairment& impairment);
   void clear_impairments() { impairments_.clear_all(); }
+
+  /// Reseeds the per-link RED RNG streams (mirrors ImpairmentPlane's
+  /// contract: each link's stream derives from (seed, link index), so the
+  /// decision sequence is independent of which other links exist). Resets
+  /// queue state; call before traffic, not mid-run.
+  void seed_aqm(std::uint64_t seed);
+  static constexpr std::uint64_t kDefaultAqmSeed = 0x0AE0'11FEull;
+
+  /// Packets currently occupying `link`'s egress queue (still serializing
+  /// or waiting) at the simulator's current time. 0 for uncapacitated
+  /// links. Exposed for tests and the congestion bench.
+  [[nodiscard]] std::size_t queue_depth(LinkId link) const;
   [[nodiscard]] ImpairmentPlane& impairments() noexcept {
     return impairments_;
   }
@@ -339,6 +367,28 @@ class Network {
   void deliver(NodeId to, NodeId from, Packet packet);
   void drop(NodeId at, const Packet& packet, std::string_view reason);
 
+  /// Egress queue of one capacitated directed edge. Occupancy is tracked
+  /// event-free: `departures` holds the serialization-completion time of
+  /// every admitted copy, and expired entries are popped lazily at the
+  /// next admission — no timer events, so uncapacitated runs see an
+  /// unchanged event stream and capacitated ones add zero events too.
+  struct EgressQueue {
+    Time busy_until = 0;          ///< when the link finishes its backlog
+    std::deque<Time> departures;  ///< per-copy completion times, FIFO
+    double red_avg = 0;           ///< RED's EWMA of instantaneous occupancy
+    Rng red_rng;
+    bool red_seeded = false;
+  };
+
+  /// Runs queue admission for one wire copy on a capacitated edge.
+  /// Returns false (after counting/reporting the drop) when drop-tail or
+  /// RED rejects it; otherwise sets `queue_delay` = wait + serialization.
+  bool admit(LinkId link, const Topology::Edge& edge, const Packet& packet,
+             Time& queue_delay);
+  bool red_rejects(EgressQueue& q, LinkId link, const LinkSpec& spec,
+                   std::size_t occupancy);
+  [[nodiscard]] EgressQueue& egress(LinkId link);
+
   sim::Simulator& sim_;
   const Topology& topo_;
   const routing::UnicastRouting* routes_;
@@ -351,6 +401,8 @@ class Network {
   TableMutationListener* mutation_listener_ = nullptr;
   NetworkCounters counters_;
   ImpairmentPlane impairments_;
+  std::vector<EgressQueue> queues_;  ///< lazily sized; indexed by link
+  std::uint64_t aqm_seed_ = kDefaultAqmSeed;
 };
 
 /// Computes the 10.x.y.1 address for a node index (stable scheme used by

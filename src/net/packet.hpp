@@ -67,11 +67,15 @@ struct PimJoinPayload {
 /// Multicast payload data. `probe` tags measurement packets so the metrics
 /// taps can attribute link copies and delivery delays to one transmission.
 /// `encapsulated` models PIM-SM register tunnelling (source → RP in unicast).
+/// `pad` models application payload size: that many zero bytes ride on the
+/// wire (TrafficSpec::payload_bytes), so serialization time on capacitated
+/// links scales with it. 0 (default) keeps the legacy wire format.
 struct DataPayload {
   std::uint64_t probe = 0;
   std::uint32_t seq = 0;
   Time sent_at = 0;
   bool encapsulated = false;
+  std::uint32_t pad = 0;
 };
 
 /// Causal tracing context carried by every packet. A root span is opened

@@ -5,6 +5,27 @@
 
 namespace hbh::net {
 
+std::optional<AqmPolicy> aqm_from_string(std::string_view s) {
+  if (s == "droptail") return AqmPolicy::kDropTail;
+  if (s == "red") return AqmPolicy::kRed;
+  return std::nullopt;
+}
+
+std::string_view to_string(AqmPolicy aqm) {
+  return aqm == AqmPolicy::kRed ? "red" : "droptail";
+}
+
+namespace {
+
+void check_spec(const LinkSpec& spec) {
+  assert(spec.cost > 0 && spec.delay >= 0);
+  assert(spec.capacity >= 0);
+  assert(!spec.capacitated() || spec.queue_limit > 0);
+  (void)spec;
+}
+
+}  // namespace
+
 NodeId Topology::add_node(NodeKind kind) {
   const NodeId id{static_cast<std::uint32_t>(kinds_.size())};
   kinds_.push_back(kind);
@@ -12,26 +33,33 @@ NodeId Topology::add_node(NodeKind kind) {
   return id;
 }
 
-LinkId Topology::add_link(NodeId from, NodeId to, LinkAttrs attrs) {
+LinkId Topology::add_link(NodeId from, NodeId to, LinkSpec spec) {
   assert(contains(from) && contains(to));
   assert(from != to);
   assert(!find_link(from, to).has_value());
-  assert(attrs.cost > 0 && attrs.delay >= 0);
+  check_spec(spec);
   const LinkId id{static_cast<std::uint32_t>(edges_.size())};
-  edges_.push_back(Edge{from, to, attrs});
+  edges_.push_back(Edge{from, to, spec});
   out_[from.index()].push_back(id);
   return id;
 }
 
-void Topology::add_duplex(NodeId a, NodeId b, LinkAttrs ab, LinkAttrs ba) {
+void Topology::add_duplex(NodeId a, NodeId b, LinkSpec ab, LinkSpec ba) {
   add_link(a, b, ab);
   add_link(b, a, ba);
 }
 
-void Topology::set_attrs(LinkId link, LinkAttrs attrs) {
+void Topology::set_spec(LinkId link, LinkSpec spec) {
   assert(link.valid() && link.index() < edges_.size());
-  assert(attrs.cost > 0 && attrs.delay >= 0);
-  edges_[link.index()].attrs = attrs;
+  check_spec(spec);
+  edges_[link.index()].attrs = spec;
+}
+
+void Topology::set_cost_delay(LinkId link, double cost, Time delay) {
+  assert(link.valid() && link.index() < edges_.size());
+  assert(cost > 0 && delay >= 0);
+  edges_[link.index()].attrs.cost = cost;
+  edges_[link.index()].attrs.delay = delay;
 }
 
 void Topology::set_link_up(LinkId link, bool up) {

@@ -15,6 +15,7 @@ constexpr std::uint8_t kFlagFresh = 1u << 1;
 constexpr std::uint8_t kFlagMarked = 1u << 2;
 constexpr std::uint8_t kFlagEncap = 1u << 3;
 constexpr std::uint8_t kFlagTraced = 1u << 4;
+constexpr std::uint8_t kFlagPadded = 1u << 5;
 
 constexpr std::size_t kTraceExtSize = 16;  // trace_id(8) + span_id(8)
 
@@ -96,6 +97,7 @@ std::uint8_t flags_of(const Packet& p) {
       break;
     case PacketType::kData:
       if (p.data().encapsulated) flags |= kFlagEncap;
+      if (p.data().pad > 0) flags |= kFlagPadded;
       break;
     case PacketType::kFusion:
     case PacketType::kPimJoin:
@@ -122,7 +124,9 @@ std::size_t encoded_size(const Packet& packet) {
     case PacketType::kPimPrune:
       return header + 8;
     case PacketType::kData:
-      return header + 20;
+      // pad length prefix (4) + pad bytes, only when PADDED is set.
+      return header + 20 +
+             (packet.data().pad > 0 ? 4 + std::size_t{packet.data().pad} : 0);
   }
   return header;
 }
@@ -167,6 +171,10 @@ std::vector<std::uint8_t> encode(const Packet& packet) {
       w.u64(packet.data().probe);
       w.u32(packet.data().seq);
       w.f64(packet.data().sent_at);
+      if (packet.data().pad > 0) {
+        w.u32(packet.data().pad);
+        for (std::uint32_t i = 0; i < packet.data().pad; ++i) w.u8(0);
+      }
       break;
   }
   return w.take();
@@ -234,6 +242,13 @@ std::optional<Packet> decode(std::span<const std::uint8_t> wire) {
       d.seq = r.u32();
       d.sent_at = r.f64();
       d.encapsulated = (flags & kFlagEncap) != 0;
+      if ((flags & kFlagPadded) != 0) {
+        d.pad = r.u32();
+        if (d.pad == 0) return std::nullopt;  // flag requires padding
+        for (std::uint32_t i = 0; i < d.pad; ++i) {
+          if (r.u8() != 0) return std::nullopt;  // pad bytes must be zero
+        }
+      }
       p.payload = d;
       break;
     }

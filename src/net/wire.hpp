@@ -10,7 +10,7 @@
 //   common header (20 bytes):
 //     0      version(hi nibble)=1 | type(lo nibble)
 //     1      flags   (bit0 FIRST, bit1 FRESH, bit2 MARKED, bit3 ENCAP,
-//                     bit4 TRACED)
+//                     bit4 TRACED, bit5 PADDED)
 //     2      ttl
 //     3      reserved (0)
 //     4..7   src IPv4
@@ -25,6 +25,8 @@
 //     fusion:   origin(4) count(2) receiver(4)*count
 //     pim-join: root(4) receiver(4)
 //     data:     probe(8) seq(4) sent_at(8, IEEE-754 big-endian)
+//               [pad_len(4) + pad_len zero bytes, only when PADDED is set —
+//                the application payload modelled for capacity accounting]
 #pragma once
 
 #include <cstdint>

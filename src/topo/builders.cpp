@@ -4,7 +4,7 @@
 
 namespace hbh::topo {
 
-using net::LinkAttrs;
+using net::LinkSpec;
 using net::NodeKind;
 using net::Topology;
 
@@ -31,7 +31,7 @@ Topology make_line(std::size_t n) {
   Topology t;
   const auto ids = add_nodes(t, n);
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    t.add_duplex(ids[i], ids[i + 1], LinkAttrs{1, 1});
+    t.add_duplex(ids[i], ids[i + 1], LinkSpec{.cost = 1, .delay = 1});
   }
   return t;
 }
@@ -40,7 +40,7 @@ Topology make_ring(std::size_t n) {
   assert(n >= 3);
   Topology t = make_line(n);
   t.add_duplex(NodeId{static_cast<std::uint32_t>(n - 1)}, NodeId{0},
-               LinkAttrs{1, 1});
+               LinkSpec{.cost = 1, .delay = 1});
   return t;
 }
 
@@ -49,7 +49,7 @@ Topology make_star(std::size_t n) {
   Topology t;
   const auto ids = add_nodes(t, n);
   for (std::size_t i = 1; i < n; ++i) {
-    t.add_duplex(ids[0], ids[i], LinkAttrs{1, 1});
+    t.add_duplex(ids[0], ids[i], LinkSpec{.cost = 1, .delay = 1});
   }
   return t;
 }
@@ -61,8 +61,8 @@ Topology make_grid(std::size_t w, std::size_t h) {
   const auto at = [&](std::size_t x, std::size_t y) { return ids[y * w + x]; };
   for (std::size_t y = 0; y < h; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
-      if (x + 1 < w) t.add_duplex(at(x, y), at(x + 1, y), LinkAttrs{1, 1});
-      if (y + 1 < h) t.add_duplex(at(x, y), at(x, y + 1), LinkAttrs{1, 1});
+      if (x + 1 < w) t.add_duplex(at(x, y), at(x + 1, y), LinkSpec{.cost = 1, .delay = 1});
+      if (y + 1 < h) t.add_duplex(at(x, y), at(x, y + 1), LinkSpec{.cost = 1, .delay = 1});
     }
   }
   return t;
@@ -74,7 +74,7 @@ Topology make_full_mesh(std::size_t n) {
   const auto ids = add_nodes(t, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      t.add_duplex(ids[i], ids[j], LinkAttrs{1, 1});
+      t.add_duplex(ids[i], ids[j], LinkSpec{.cost = 1, .delay = 1});
     }
   }
   return t;
@@ -89,7 +89,7 @@ Scenario attach_hosts(Topology topo, std::vector<NodeId> routers,
   s.hosts.reserve(s.routers.size());
   for (const NodeId r : s.routers) {
     const NodeId h = topo.add_node(NodeKind::kHost);
-    topo.add_duplex(r, h, LinkAttrs{1, 1});
+    topo.add_duplex(r, h, LinkSpec{.cost = 1, .delay = 1});
     s.hosts.push_back(h);
   }
   s.source_host = s.hosts[source_index];
@@ -101,7 +101,7 @@ void randomize_costs(net::Topology& topo, Rng& rng, int lo, int hi) {
   assert(lo >= 1 && lo <= hi);
   for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
     const auto c = static_cast<double>(rng.uniform_int(lo, hi));
-    topo.set_attrs(LinkId{i}, LinkAttrs{c, c});
+    topo.set_cost_delay(LinkId{i}, c, c);
   }
 }
 
@@ -110,8 +110,22 @@ void symmetrize_costs(net::Topology& topo) {
     const auto& e = topo.edge(LinkId{i});
     const auto rev = topo.find_link(e.to, e.from);
     if (rev.has_value() && rev->index() > i) {
-      topo.set_attrs(*rev, e.attrs);
+      topo.set_cost_delay(*rev, e.attrs.cost, e.attrs.delay);
     }
+  }
+}
+
+void apply_backbone_capacity(net::Topology& topo, double capacity,
+                             std::size_t queue_limit, net::AqmPolicy aqm) {
+  assert(capacity > 0);
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const auto& e = topo.edge(LinkId{i});
+    if (topo.kind(e.from) != NodeKind::kRouter ||
+        topo.kind(e.to) != NodeKind::kRouter) {
+      continue;
+    }
+    topo.set_spec(LinkId{i},
+                  e.attrs.with_capacity(capacity).with_queue(queue_limit, aqm));
   }
 }
 

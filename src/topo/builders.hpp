@@ -48,11 +48,21 @@ struct Scenario {
 
 /// Redraws every directed edge's cost uniformly from [lo, hi] (integers)
 /// and sets delay = cost. Host access links are included — the paper
-/// randomizes every link.
+/// randomizes every link. Congestion fields (capacity, queue) survive.
 void randomize_costs(net::Topology& topo, Rng& rng, int lo = 1, int hi = 10);
 
 /// Copies each duplex link's forward cost onto its reverse direction,
 /// producing a fully symmetric network (the ablation configuration).
 void symmetrize_costs(net::Topology& topo);
+
+/// Applies `capacity` (bytes/time-unit; see LinkSpec::capacity) with the
+/// given queue configuration to every backbone (router-router) directed
+/// edge. Host access links stay uncapacitated so end systems never bottleneck
+/// themselves — contention happens where replication does, at the routers.
+/// Costs and delays are untouched.
+void apply_backbone_capacity(
+    net::Topology& topo, double capacity,
+    std::size_t queue_limit = net::kDefaultQueueLimit,
+    net::AqmPolicy aqm = net::AqmPolicy::kDropTail);
 
 }  // namespace hbh::topo

@@ -5,7 +5,7 @@
 
 namespace hbh::topo {
 
-using net::LinkAttrs;
+using net::LinkSpec;
 using net::Topology;
 
 Scenario make_isp() {
@@ -27,7 +27,8 @@ Scenario make_isp() {
   }};
   for (const auto& [a, b] : kLinks) {
     t.add_duplex(routers[static_cast<std::size_t>(a)],
-                 routers[static_cast<std::size_t>(b)], LinkAttrs{1, 1});
+                 routers[static_cast<std::size_t>(b)],
+                 LinkSpec{.cost = 1, .delay = 1});
   }
   assert(t.strongly_connected());
 

@@ -8,7 +8,7 @@
 
 namespace hbh::topo {
 
-using net::LinkAttrs;
+using net::LinkSpec;
 using net::Topology;
 
 Scenario make_random(const RandomTopoParams& params, Rng& rng) {
@@ -33,7 +33,7 @@ Scenario make_random(const RandomTopoParams& params, Rng& rng) {
     const std::pair<std::uint32_t, std::uint32_t> key{std::min(ia, ib),
                                                       std::max(ia, ib)};
     if (!used.insert(key).second) return false;
-    t.add_duplex(routers[a], routers[b], LinkAttrs{1, 1});
+    t.add_duplex(routers[a], routers[b], LinkSpec{.cost = 1, .delay = 1});
     return true;
   };
 
@@ -92,7 +92,9 @@ Scenario make_waxman(const WaxmanParams& params, Rng& rng) {
     for (std::size_t b = a + 1; b < n; ++b) {
       const double p =
           params.alpha * std::exp(-dist(a, b) / (params.beta * l_max));
-      if (rng.chance(p)) t.add_duplex(routers[a], routers[b], LinkAttrs{1, 1});
+      if (rng.chance(p)) {
+        t.add_duplex(routers[a], routers[b], LinkSpec{.cost = 1, .delay = 1});
+      }
     }
   }
 
@@ -134,7 +136,8 @@ Scenario make_waxman(const WaxmanParams& params, Rng& rng) {
       }
     }
     if (best_d < 0) break;  // single component
-    t.add_duplex(routers[best_a], routers[best_b], LinkAttrs{1, 1});
+    t.add_duplex(routers[best_a], routers[best_b],
+                 LinkSpec{.cost = 1, .delay = 1});
     recolor();
   }
   assert(t.strongly_connected());

@@ -2,12 +2,12 @@
 
 namespace hbh::topo {
 
-using net::LinkAttrs;
+using net::LinkSpec;
 using net::NodeKind;
 using net::Topology;
 
 namespace {
-LinkAttrs c(double cost) { return LinkAttrs{cost, cost}; }
+LinkSpec c(double cost) { return LinkSpec{.cost = cost, .delay = cost}; }
 }  // namespace
 
 Fig2Scenario make_fig2() {

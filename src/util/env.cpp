@@ -106,4 +106,25 @@ double env_churn_off(double fallback) {
   return env_double_or("HBH_CHURN_OFF", fallback);
 }
 
+double env_rate(double fallback) {
+  const double v = env_double_or("HBH_RATE", fallback);
+  return v >= 0 ? v : fallback;
+}
+
+std::size_t env_payload(std::size_t fallback) {
+  const std::int64_t v =
+      env_int_or("HBH_PAYLOAD", static_cast<std::int64_t>(fallback));
+  return v >= 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+std::size_t env_queue_limit(std::size_t fallback) {
+  const std::int64_t v =
+      env_int_or("HBH_QUEUE_LIMIT", static_cast<std::int64_t>(fallback));
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+std::string env_aqm(std::string_view fallback) {
+  return env_str_or("HBH_AQM", fallback);
+}
+
 }  // namespace hbh

@@ -99,4 +99,20 @@ namespace hbh {
 [[nodiscard]] double env_churn_on(double fallback);
 [[nodiscard]] double env_churn_off(double fallback);
 
+/// HBH_RATE — autonomous data emissions per time unit per channel in the
+/// congestion workloads (TrafficSpec::rate; 0 keeps the bench default).
+[[nodiscard]] double env_rate(double fallback);
+
+/// HBH_PAYLOAD — application payload bytes padded onto every data packet
+/// in the congestion workloads (TrafficSpec::payload_bytes).
+[[nodiscard]] std::size_t env_payload(std::size_t fallback);
+
+/// HBH_QUEUE_LIMIT — egress queue capacity (packets) applied to
+/// capacitated links (LinkSpec::queue_limit).
+[[nodiscard]] std::size_t env_queue_limit(std::size_t fallback);
+
+/// HBH_AQM — queue discipline for capacitated links: "droptail" | "red"
+/// (net::aqm_from_string); malformed values keep the fallback.
+[[nodiscard]] std::string env_aqm(std::string_view fallback = "droptail");
+
 }  // namespace hbh
