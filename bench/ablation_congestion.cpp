@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "fig_common.hpp"
+#include "metrics/auditor.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
 #include "topo/isp.hpp"
@@ -68,8 +69,9 @@ struct CongestionTap final : net::PacketTap {
   std::vector<Event> drops;
 
   void on_queue(const net::Topology::Edge& edge, const net::Packet& packet,
-                Time wait, Time serialization, Time now) override {
-    (void)now;
+                Time wait, Time serialization, std::size_t depth,
+                Time now) override {
+    (void)depth, (void)now;
     delays.push_back(wait + serialization);
     queued.push_back(Event{edge.from, packet.channel});
   }
@@ -205,6 +207,15 @@ int main() {
         session.apply_backbone_capacity(kCapacity, queue_limit, aqm);
         session.network().seed_aqm(base_seed + trial);
         session.network().add_tap(&tap);
+        // Saturated queues drop soft-state refresh traffic, and the
+        // resulting tree transients legitimately deliver duplicates (the
+        // goodput count below dedupes for exactly that reason) — so if
+        // HBH_AUDIT armed an auditor, relax its at-most-once heuristics
+        // for the congested window. The definitive detectors (TTL
+        // exhaustion, black holes) stay live.
+        if (metrics::Auditor* auditor = session.auditor()) {
+          auditor->set_at_most_once(false);
+        }
 
         // K emissions per channel at 1/rate spacing. stop lands half an
         // interval past the last emission, so the count never depends on

@@ -40,6 +40,22 @@ foreach(needle
   endif()
 endforeach()
 
+# Reports produced by harness::write_run_report always carry the
+# forwarding-plane auditor's verdict — zeros included, so "no anomalies"
+# is an assertion, not an absence. -DNO_ANOMALIES=1 opts out for benches
+# with a bespoke report writer (the state-scaling ablation).
+if(NOT NO_ANOMALIES)
+  foreach(needle
+      "\"anomalies\"" "hbh.anomalies/v1" "\"by_protocol\"" "\"strict\""
+      "\"loop\"" "\"duplicate-delivery\"" "\"black-hole\""
+      "\"state-misplacement\"" "\"soft-state-leak\"" "\"tree-drift\"")
+    string(FIND "${doc}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "report ${OUT} is missing anomaly needle ${needle}")
+    endif()
+  endforeach()
+endif()
+
 if(CONGESTION)
   foreach(needle
       "\"congestion\"" "\"goodput_ratio\"" "\"queue_delay\""

@@ -76,6 +76,16 @@ inline int run_figure(const char* figure, const char* paper_caption,
       return 1;
     }
   }
+  const std::string audit_out = env_audit_out();
+  if (!audit_out.empty()) {
+    if (harness::write_audit_file(spec, figure, audit_out)) {
+      std::printf("audit: %s\n", audit_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write HBH_AUDIT_OUT=%s\n",
+                   audit_out.c_str());
+      return 1;
+    }
+  }
   const std::string prof_out = env_prof_out();
   if (!prof_out.empty()) {
     if (harness::write_profile_file(figure, prof_out)) {
@@ -115,6 +125,9 @@ inline void maybe_write_bench_report(
   }
   if (harness::maybe_write_trace_from_env(spec, name, customize)) {
     std::printf("trace: %s\n", env_trace_out().c_str());
+  }
+  if (harness::maybe_write_audit_from_env(spec, name, customize)) {
+    std::printf("audit: %s\n", env_audit_out().c_str());
   }
   if (harness::maybe_write_profile_from_env(name)) {
     std::printf("profile: %s\n", env_prof_out().c_str());

@@ -1,7 +1,9 @@
 #include "harness/experiment.hpp"
 
+#include <array>
 #include <cassert>
 #include <chrono>
+#include <exception>
 #include <fstream>
 #include <iomanip>
 #include <memory>
@@ -10,6 +12,7 @@
 #include <tuple>
 
 #include "harness/trial_pool.hpp"
+#include "metrics/auditor.hpp"
 #include "metrics/profiler.hpp"
 #include "metrics/report.hpp"
 #include "topo/isp.hpp"
@@ -340,6 +343,18 @@ bool write_run_report(const ExperimentSpec& spec,
   // message/byte counts without slowing the sweep itself.
   const std::size_t size =
       spec.group_sizes.empty() ? 2 : spec.group_sizes.back();
+
+  // Per-protocol invariant-audit results, captured during the deep-dives
+  // and rendered as the top-level "anomalies" section after "runs".
+  struct AuditSnapshot {
+    Protocol protocol = Protocol::kHbh;
+    bool strict = false;
+    std::array<std::uint64_t, metrics::kAnomalyKindCount> counts{};
+    std::vector<metrics::AnomalyEvent> events;
+  };
+  std::vector<AuditSnapshot> audits;
+  double audit_wall_seconds = 0.0;
+
   w.key("runs");
   w.begin_object();
   for (const auto& sweep : results) {
@@ -353,6 +368,10 @@ bool write_run_report(const ExperimentSpec& spec,
     Session& session = *setup.session;
     session.enable_telemetry(spec.session.timers.tree_period);
     session.enable_tracing();
+    // Deep-dives are always audited (record mode; strict only when the
+    // session already picked it up from HBH_AUDIT=strict) so the report's
+    // "anomalies" section is present — with zeros — on every clean run.
+    metrics::Auditor& auditor = session.enable_audit();
     if (customize) customize(session);
     {
       HBH_PHASE("warmup");
@@ -362,6 +381,22 @@ bool write_run_report(const ExperimentSpec& spec,
     {
       HBH_PHASE("measure");
       m = session.measure(spec.drain);
+    }
+    {
+      const auto audit_start = std::chrono::steady_clock::now();
+      session.audit_sweep();
+      AuditSnapshot snap;
+      snap.protocol = sweep.protocol;
+      snap.strict = auditor.config().strict;
+      for (std::size_t k = 0; k < metrics::kAnomalyKindCount; ++k) {
+        snap.counts[k] = auditor.count(static_cast<metrics::AnomalyKind>(k));
+      }
+      snap.events = auditor.events();
+      audits.push_back(std::move(snap));
+      audit_wall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        audit_start)
+              .count();
     }
     session.flush_fastpath_profile();
     dive_install.reset();
@@ -392,6 +427,55 @@ bool write_run_report(const ExperimentSpec& spec,
     w.end_object();
   }
   w.end_object();
+
+  // Forwarding-plane invariant audit of the deep-dive runs. A clean run
+  // reports all-zero counters; counters and events are deterministic at
+  // any HBH_JOBS (the deep-dives are serial), only audit_wall_seconds
+  // varies (report_scrub strips it).
+  {
+    std::uint64_t grand_total = 0;
+    bool strict = false;
+    for (const AuditSnapshot& snap : audits) {
+      for (const std::uint64_t n : snap.counts) grand_total += n;
+      strict = strict || snap.strict;
+    }
+    w.key("anomalies");
+    w.begin_object();
+    w.member("schema", "hbh.anomalies/v1");
+    w.member("strict", strict);
+    w.member("audit_wall_seconds", audit_wall_seconds);
+    w.member("total", grand_total);
+    w.key("by_protocol");
+    w.begin_object();
+    for (const AuditSnapshot& snap : audits) {
+      w.key(to_string(snap.protocol));
+      w.begin_object();
+      std::uint64_t total = 0;
+      for (const std::uint64_t n : snap.counts) total += n;
+      w.member("total", total);
+      for (std::size_t k = 0; k < metrics::kAnomalyKindCount; ++k) {
+        w.member(to_string(static_cast<metrics::AnomalyKind>(k)),
+                 snap.counts[k]);
+      }
+      w.key("events");
+      w.begin_array();
+      for (const metrics::AnomalyEvent& ev : snap.events) {
+        w.begin_object();
+        w.member("kind", to_string(ev.kind));
+        w.member("t", ev.at);
+        w.member("node", to_string(ev.node));
+        w.member("channel", ev.channel.to_string());
+        w.member("seq", static_cast<std::uint64_t>(ev.seq));
+        w.member("trace", ev.trace_id);
+        w.member("detail", ev.detail);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
 
   if (extra) extra(w);
 
@@ -442,6 +526,46 @@ bool maybe_write_trace_from_env(const ExperimentSpec& spec,
   const std::string path = env_trace_out();
   if (path.empty()) return false;
   return write_trace_file(spec, figure, path, customize);
+}
+
+bool write_audit_file(const ExperimentSpec& spec, std::string_view figure,
+                      const std::string& path, const SessionHook& customize) {
+  (void)figure;
+  // One serial audited re-run per protocol (largest group size, trial 0 —
+  // the cells the report deep-dives). Serial by construction, so the NDJSON
+  // stream is byte-identical at any HBH_JOBS setting. Record mode even
+  // under HBH_AUDIT=strict: the stream is the diagnosis artifact, so it
+  // must survive the anomaly the strict gate would abort on.
+  const std::size_t size =
+      spec.group_sizes.empty() ? 2 : spec.group_sizes.back();
+  std::string out;
+  for (const Protocol protocol : all_protocols()) {
+    TrialSetup setup = prepare_trial(spec, protocol, size, 0);
+    Session& session = *setup.session;
+    metrics::Auditor& auditor = session.enable_audit();
+    if (customize) customize(session);
+    try {
+      session.run_for(setup.last_join + spec.warmup);
+      (void)session.measure(spec.drain);
+      session.audit_sweep();
+    } catch (const std::exception&) {
+      // HBH_AUDIT=strict aborts the run on the first anomaly, but the
+      // event was recorded before the throw — the stream still carries it.
+    }
+    auditor.append_ndjson(out, to_string(protocol));
+  }
+  std::ofstream file(path);
+  if (!file) return false;
+  file << out;
+  return file.good();
+}
+
+bool maybe_write_audit_from_env(const ExperimentSpec& spec,
+                                std::string_view figure,
+                                const SessionHook& customize) {
+  const std::string path = env_audit_out();
+  if (path.empty()) return false;
+  return write_audit_file(spec, figure, path, customize);
 }
 
 bool write_profile_file(std::string_view figure, const std::string& path) {

@@ -141,6 +141,22 @@ bool maybe_write_trace_from_env(const ExperimentSpec& spec,
                                 std::string_view figure,
                                 const SessionHook& customize = {});
 
+/// Writes the forwarding-plane invariant audit as NDJSON (one hbh.audit/v1
+/// object per anomaly; an empty file means a clean run): one serial audited
+/// re-run per protocol — the largest swept group size, trial 0, the same
+/// cell the report deep-dives. Serial by construction, so the file is
+/// byte-identical at any HBH_JOBS setting. Returns false if the file could
+/// not be created.
+bool write_audit_file(const ExperimentSpec& spec, std::string_view figure,
+                      const std::string& path,
+                      const SessionHook& customize = {});
+
+/// Honors HBH_AUDIT_OUT=path.ndjson: writes the audit stream there and
+/// returns true, or does nothing when the variable is unset.
+bool maybe_write_audit_from_env(const ExperimentSpec& spec,
+                                std::string_view figure,
+                                const SessionHook& customize = {});
+
 /// Writes the process-wide phase profile accumulated so far (every trial
 /// run_trial executed, the report deep-dives, report rendering) as a
 /// standalone hbh.perf_profile/v1 document keyed by protocol label.

@@ -1,6 +1,7 @@
 #include "harness/session.hpp"
 
 #include <cassert>
+#include <set>
 
 #include "harness/churn_plan.hpp"
 #include "harness/multi_source.hpp"
@@ -106,6 +107,11 @@ Session::Session(topo::Scenario scenario, Protocol protocol,
   if (config.fastpath.value_or(env_fastpath())) {
     fastpath_ = std::make_unique<fastpath::CompiledForwarder>(*net_);
   }
+  // HBH_AUDIT turns every session in the process into a self-checking
+  // correctness probe (strict: the first violation throws).
+  if (const std::string mode = env_audit(); !mode.empty()) {
+    enable_audit(mode == "strict");
+  }
 }
 
 Session::~Session() {
@@ -114,6 +120,29 @@ Session::~Session() {
   if (sampler_) sampler_->stop();
   if (stats_tap_) net_->remove_tap(stats_tap_.get());
   if (trace_) net_->remove_tap(trace_.get());
+  if (auditor_) net_->remove_tap(auditor_.get());
+}
+
+metrics::Auditor& Session::enable_audit(bool strict) {
+  if (!auditor_) {
+    metrics::AuditorConfig config;
+    config.strict = strict;
+    config.tree_period = timers_.tree_period;
+    config.t1 = timers_.t1;
+    config.t2 = timers_.t2;
+    // Graft grace: staggered joins settle within a couple of periods; four
+    // leaves margin for interception/fusion chains. Starvation threshold:
+    // a copy older than t2 cannot still be in flight or queued anywhere.
+    config.blackhole_grace = 4 * timers_.tree_period;
+    config.blackhole_starvation = timers_.t2;
+    config.leak_slack = 2 * timers_.tree_period;
+    // REUNITE makes no at-most-once promise: its unicast-driven data plane
+    // duplicates packets and re-crosses links during transients (§2.3).
+    config.at_most_once = protocol_ != Protocol::kReunite;
+    auditor_ = std::make_unique<metrics::Auditor>(config);
+    net_->add_tap(auditor_.get());
+  }
+  return *auditor_;
 }
 
 net::AgentStats Session::aggregate_agent_stats() const {
@@ -425,9 +454,11 @@ void Session::subscribe_on(ChannelId id, NodeId host, Time delay) {
                                                       : ch.channel.source;
   if (delay <= 0) {
     receiver->subscribe(ch.channel, root);
+    if (auditor_) auditor_->note_subscribe(ch.channel, host, sim_.now());
   } else {
-    sim_.schedule(delay, [receiver, channel = ch.channel, root] {
+    sim_.schedule(delay, [this, receiver, channel = ch.channel, root, host] {
       receiver->subscribe(channel, root);
+      if (auditor_) auditor_->note_subscribe(channel, host, sim_.now());
     });
   }
 }
@@ -437,9 +468,11 @@ void Session::unsubscribe_on(ChannelId id, NodeId host, Time delay) {
   auto* receiver = receivers_.at(host);
   if (delay <= 0) {
     receiver->unsubscribe(ch.channel);
+    if (auditor_) auditor_->note_unsubscribe(ch.channel, host, sim_.now());
   } else {
-    sim_.schedule(delay, [receiver, channel = ch.channel] {
+    sim_.schedule(delay, [this, receiver, channel = ch.channel, host] {
       receiver->unsubscribe(channel);
+      if (auditor_) auditor_->note_unsubscribe(channel, host, sim_.now());
     });
   }
 }
@@ -465,8 +498,9 @@ Measurement Session::measure_on(ChannelId id, Time drain) {
     receiver->set_sink(active_probe_.get());
   }
 
-  const std::size_t sent = ch.send_data(active_probe_->probe_id(),
-                                        ch.next_seq++,
+  const std::uint32_t seq = ch.next_seq++;
+  if (auditor_) auditor_->note_emission(ch.channel, seq, sim_.now());
+  const std::size_t sent = ch.send_data(active_probe_->probe_id(), seq,
                                         ch.traffic.payload_bytes);
   (void)sent;
   sim_.run_for(drain);
@@ -481,14 +515,117 @@ Measurement Session::measure_on(ChannelId id, Time drain) {
 
   net_->set_tap(nullptr);
   for (auto& [host, receiver] : receivers_) receiver->set_sink(nullptr);
+
+  // Tree-cost drift vs the oracle SPT (HBH's exact forward-SPT claim;
+  // REUNITE/PIM legitimately deviate under asymmetric routing, so no
+  // oracle is asserted for them). Only a clean, converged measurement is
+  // comparable: every member reached exactly once, one copy per link, no
+  // active faults steering copies off the unicast-optimal paths.
+  if (auditor_ && protocol_ == Protocol::kHbh && !expected.empty() &&
+      m.delivered_exactly_once() && m.max_link_copies == 1 &&
+      crashed_.empty() && !net_->impairments().any_active()) {
+    auditor_->note_tree_cost(ch.channel, m.tree_cost,
+                             oracle_tree_edges(id, expected), true, sim_.now());
+  }
   return m;
+}
+
+std::uint64_t Session::oracle_tree_edges(
+    ChannelId id, const std::vector<NodeId>& members) const {
+  const ChannelState& ch = channels_.at(id);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const NodeId member : members) {
+    NodeId cur = ch.source_host;
+    while (cur != member) {
+      const NodeId next = routes_->next_hop(cur, member);
+      if (!next.valid()) return 0;  // unreachable: no oracle, skip the check
+      edges.emplace(cur.index(), next.index());
+      cur = next;
+    }
+  }
+  return edges.size();
+}
+
+void Session::audit_sweep() {
+  if (!auditor_) return;
+  const Time now = sim_.now();
+  auditor_->begin_sweep(now);
+  for (const ChannelState& ch : channels_) {
+    for (const NodeId router : scenario_.routers) {
+      if (is_unicast_only(router) || crashed(router)) continue;
+      const net::ProtocolAgent& agent = net_->agent(router);
+      switch (protocol_) {
+        case Protocol::kHbh: {
+          const auto* st = static_cast<const mcast::hbh::HbhRouter&>(agent)
+                               .state(ch.channel);
+          if (st == nullptr) break;
+          const bool live_mct = st->mct && !st->mct->state.dead(now);
+          const bool live_mft = st->mft && !st->mft->live_targets(now).empty();
+          auditor_->sweep_tables(router, ch.channel, live_mct, live_mft);
+          if (st->mct) {
+            auditor_->sweep_entry(router, ch.channel, "mct",
+                                  st->mct->state.t2_expiry());
+          }
+          if (st->mft) {
+            for (const auto& [target, entry] : st->mft->raw()) {
+              auditor_->sweep_entry(router, ch.channel, "mft",
+                                    entry.t2_expiry());
+            }
+          }
+          break;
+        }
+        case Protocol::kReunite: {
+          const auto* st =
+              static_cast<const mcast::reunite::ReuniteRouter&>(agent)
+                  .state(ch.channel);
+          if (st == nullptr) break;
+          const bool live_mct = st->mct && !st->mct->state.dead(now);
+          bool live_mft = false;
+          if (st->mft) {
+            live_mft = !st->mft->dst_state.dead(now);
+            for (const auto& [target, entry] : st->mft->entries) {
+              live_mft = live_mft || !entry.dead(now);
+            }
+          }
+          auditor_->sweep_tables(router, ch.channel, live_mct, live_mft);
+          if (st->mct) {
+            auditor_->sweep_entry(router, ch.channel, "mct",
+                                  st->mct->state.t2_expiry());
+          }
+          if (st->mft) {
+            auditor_->sweep_entry(router, ch.channel, "mft",
+                                  st->mft->dst_state.t2_expiry());
+            for (const auto& [target, entry] : st->mft->entries) {
+              auditor_->sweep_entry(router, ch.channel, "mft",
+                                    entry.t2_expiry());
+            }
+          }
+          break;
+        }
+        case Protocol::kPimSm:
+        case Protocol::kPimSs: {
+          const auto* oifs = static_cast<const mcast::pim::PimRouter&>(agent)
+                                 .oif_entries(ch.channel);
+          if (oifs == nullptr) break;
+          for (const auto& [neighbor, entry] : *oifs) {
+            auditor_->sweep_entry(router, ch.channel, "oif",
+                                  entry.t2_expiry());
+          }
+          break;
+        }
+      }
+    }
+  }
+  auditor_->end_sweep();
 }
 
 std::size_t Session::inject_data_on(ChannelId id) {
   ChannelState& ch = channels_.at(id);
   // probe id 0 = untagged: the packet is ordinary traffic, invisible to
   // any DataProbe a concurrent measure() installs.
-  return ch.send_data(0, ch.next_seq++, ch.traffic.payload_bytes);
+  const std::uint32_t seq = ch.next_seq++;
+  if (auditor_) auditor_->note_emission(ch.channel, seq, sim_.now());
+  return ch.send_data(0, seq, ch.traffic.payload_bytes);
 }
 
 void Session::set_traffic_on(ChannelId id, const TrafficSpec& spec) {
@@ -499,7 +636,9 @@ void Session::set_traffic_on(ChannelId id, const TrafficSpec& spec) {
   // later set_traffic (payload change) or seq progression is honored.
   host->set_traffic(ch.channel, spec, [this, id] {
     ChannelState& c = channels_.at(id);
-    (void)c.send_data(0, c.next_seq++, c.traffic.payload_bytes);
+    const std::uint32_t seq = c.next_seq++;
+    if (auditor_) auditor_->note_emission(c.channel, seq, sim_.now());
+    (void)c.send_data(0, seq, c.traffic.payload_bytes);
   });
 }
 

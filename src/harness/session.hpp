@@ -25,6 +25,7 @@
 
 #include "harness/fault_plan.hpp"
 #include "mcast/common/membership.hpp"
+#include "metrics/auditor.hpp"
 #include "metrics/net_stats.hpp"
 #include "metrics/probe.hpp"
 #include "metrics/registry.hpp"
@@ -381,6 +382,31 @@ class Session {
     return tracer_.get();
   }
 
+  /// Switches the forwarding-plane invariant auditor on: installs a
+  /// metrics::Auditor as a persistent packet tap (observing every wire
+  /// copy, drop, and delivery — compiled fast path included) and feeds it
+  /// membership/emission/table notifications from the harness. Detection
+  /// thresholds derive from this session's soft-state timers. `strict`
+  /// makes the first violation throw. Idempotent; also auto-enabled by
+  /// the HBH_AUDIT environment knob (docs/OBSERVABILITY.md). Free on the
+  /// packet path unless called, and compiled out under HBH_NO_TELEMETRY.
+  metrics::Auditor& enable_audit(bool strict = false);
+
+  /// Null until enable_audit() is called (or HBH_AUDIT is set).
+  [[nodiscard]] metrics::Auditor* auditor() noexcept { return auditor_.get(); }
+  [[nodiscard]] const metrics::Auditor* auditor() const noexcept {
+    return auditor_.get();
+  }
+
+  /// Sweeps every protocol router's soft-state tables through the auditor:
+  /// per-entry t2 deadlines (leak detection), per-channel table shape
+  /// (MCT/MFT exclusivity), and black-hole finalization at the current
+  /// virtual time. Pure observation — schedules no events and mutates
+  /// nothing, so event streams are identical whether or not it runs.
+  /// No-op until enable_audit(). Call after a run settles (the report
+  /// writer does) or at any instant a test wants the invariants checked.
+  void audit_sweep();
+
   /// Null until enable_telemetry() is called.
   [[nodiscard]] metrics::Registry* registry() noexcept {
     return registry_.get();
@@ -492,6 +518,13 @@ class Session {
   std::unique_ptr<metrics::MessageTrace> trace_;
   std::unique_ptr<metrics::StateSampler> sampler_;
   std::unique_ptr<metrics::Tracer> tracer_;
+  std::unique_ptr<metrics::Auditor> auditor_;
+
+  /// Oracle SPT edge count for the drift check: the union of forward
+  /// unicast shortest paths from `id`'s source host to each member.
+  /// 0 when some member is unreachable (drift check skipped).
+  [[nodiscard]] std::uint64_t oracle_tree_edges(
+      ChannelId id, const std::vector<NodeId>& members) const;
 };
 
 }  // namespace hbh::harness

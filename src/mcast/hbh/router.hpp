@@ -51,6 +51,14 @@ class HbhRouter : public net::ProtocolAgent {
   /// router has no state for the channel.
   [[nodiscard]] const ChannelState* state(const net::Channel& ch) const;
 
+  /// Mutable state exposition for the invariant auditor's fault-seeding
+  /// tests (e.g. forcing a stale entry to prove leak detection fires).
+  /// Production code never mutates through this.
+  [[nodiscard]] ChannelState* mutable_state(const net::Channel& ch) {
+    return const_cast<ChannelState*>(
+        static_cast<const HbhRouter*>(this)->state(ch));
+  }
+
   /// Number of structural table changes (entry create/destroy, MCT<->MFT
   /// conversions) — the "tree stability" metric of Figure 4.
   [[nodiscard]] std::uint64_t structural_changes() const noexcept {

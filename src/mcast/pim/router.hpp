@@ -41,6 +41,14 @@ class PimRouter : public net::ProtocolAgent {
     return it == groups_.end() ? nullptr : &it->second.oifs;
   }
 
+  /// Mutable state exposition for the invariant auditor's fault-seeding
+  /// tests; production code never mutates through this.
+  [[nodiscard]] std::map<NodeId, SoftEntry>* mutable_oif_entries(
+      const net::Channel& ch) {
+    const auto it = groups_.find(ch);
+    return it == groups_.end() ? nullptr : &it->second.oifs;
+  }
+
  private:
   struct GroupState {
     Ipv4Addr root;

@@ -48,6 +48,13 @@ class ReuniteRouter : public net::ProtocolAgent {
 
   [[nodiscard]] const ChannelState* state(const net::Channel& ch) const;
 
+  /// Mutable state exposition for the invariant auditor's fault-seeding
+  /// tests; production code never mutates through this.
+  [[nodiscard]] ChannelState* mutable_state(const net::Channel& ch) {
+    return const_cast<ChannelState*>(
+        static_cast<const ReuniteRouter*>(this)->state(ch));
+  }
+
   /// Structural table change counter (Figure 4 stability comparison).
   [[nodiscard]] std::uint64_t structural_changes() const noexcept {
     return structural_changes_;

@@ -44,14 +44,32 @@ std::vector<double> queue_delay_bounds() {
 
 void NetworkStatsTap::on_queue(const net::Topology::Edge& edge,
                                const net::Packet& packet, Time wait,
-                               Time serialization, Time now) {
-  (void)edge, (void)packet, (void)now;
+                               Time serialization, std::size_t depth,
+                               Time now) {
+  (void)packet, (void)now;
   if (queue_delay_ == nullptr) {
     queue_delay_ = &registry_.histogram("net.queue_delay", queue_delay_bounds());
     queue_wait_ = &registry_.histogram("net.queue_wait", queue_delay_bounds());
   }
   queue_delay_->observe(wait + serialization);
   queue_wait_->observe(wait);
+  // Per-directed-link occupancy gauges (lazily registered, pointer-cached
+  // after the first admission so the steady-state cost is one hash probe).
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(edge.from.index()) << 32) |
+      edge.to.index();
+  QueueGauges& g = queue_gauges_[key];
+  if (g.high_water == nullptr) {
+    const std::string link =
+        to_string(edge.from) + "-" + to_string(edge.to);
+    g.high_water = &registry_.gauge("net.queue.hwm." + link);
+    g.admitted = &registry_.counter("net.queue.admitted." + link);
+  }
+  g.admitted->inc();
+  if (depth > g.high_water_seen) {
+    g.high_water_seen = depth;
+    g.high_water->set(static_cast<double>(depth));
+  }
 }
 
 }  // namespace hbh::metrics

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <unordered_map>
 
 #include "metrics/registry.hpp"
 #include "net/network.hpp"
@@ -29,9 +31,17 @@ class NetworkStatsTap : public net::PacketTap {
   void on_drop(NodeId at, const net::Packet& packet, std::string_view reason,
                Time now) override;
   void on_queue(const net::Topology::Edge& edge, const net::Packet& packet,
-                Time wait, Time serialization, Time now) override;
+                Time wait, Time serialization, std::size_t depth,
+                Time now) override;
 
  private:
+  /// Per-directed-link occupancy instruments, resolved on first admission.
+  struct QueueGauges {
+    Gauge* high_water = nullptr;
+    Counter* admitted = nullptr;
+    std::size_t high_water_seen = 0;
+  };
+
   Registry& registry_;
   std::array<Counter*, net::kPacketTypeCount> tx_{};
   std::array<Counter*, net::kPacketTypeCount> tx_bytes_{};
@@ -41,6 +51,7 @@ class NetworkStatsTap : public net::PacketTap {
   // never registers queue metrics, keeping its report byte-identical.
   Histogram* queue_delay_ = nullptr;
   Histogram* queue_wait_ = nullptr;
+  std::unordered_map<std::uint64_t, QueueGauges> queue_gauges_;
 };
 
 }  // namespace hbh::metrics

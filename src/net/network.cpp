@@ -205,6 +205,14 @@ void Network::seed_aqm(std::uint64_t seed) {
   queues_.clear();
 }
 
+std::size_t Network::queue_high_water(LinkId link) const {
+  return link.index() < queues_.size() ? queues_[link.index()].high_water : 0;
+}
+
+std::uint64_t Network::queue_admitted(LinkId link) const {
+  return link.index() < queues_.size() ? queues_[link.index()].admitted : 0;
+}
+
 std::size_t Network::queue_depth(LinkId link) const {
   if (link.index() >= queues_.size()) return 0;
   const EgressQueue& q = queues_[link.index()];
@@ -259,12 +267,15 @@ bool Network::admit(LinkId link, const Topology::Edge& edge,
   const Time wait = start - now;
   q.busy_until = start + serialization;
   q.departures.push_back(q.busy_until);
+  const std::size_t depth = q.departures.size();
+  if (depth > q.high_water) q.high_water = depth;
+  ++q.admitted;
   ++counters_.queued_packets;
   if (tap_ != nullptr) {
-    tap_->on_queue(edge, packet, wait, serialization, now);
+    tap_->on_queue(edge, packet, wait, serialization, depth, now);
   }
   for (PacketTap* tap : taps_) {
-    tap->on_queue(edge, packet, wait, serialization, now);
+    tap->on_queue(edge, packet, wait, serialization, depth, now);
   }
   queue_delay = wait + serialization;
   return true;
@@ -359,6 +370,11 @@ void Network::transmit(LinkId link, Packet packet, ArrivalSink* sink) {
 void Network::deliver(NodeId to, NodeId from, Packet packet) {
   ProtocolAgent& agent = *agents_[to.index()];
   ++agent.stats_.rx_by_type[static_cast<std::size_t>(packet.type)];
+  // Taps observe the arrival before the fast-path offer: compiled and
+  // interpreted hops funnel through this one choke point, so auditors see
+  // both identically.
+  if (tap_ != nullptr) tap_->on_deliver(to, from, packet, sim_.now());
+  for (PacketTap* tap : taps_) tap->on_deliver(to, from, packet, sim_.now());
   if (fastpath_ != nullptr && packet.type == PacketType::kData &&
       fastpath_->on_deliver(to, from, packet)) {
     return;

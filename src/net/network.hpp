@@ -209,12 +209,23 @@ class PacketTap {
   }
   /// A data copy was admitted to a capacitated link's egress queue: it
   /// starts serializing after `wait` and arrives at `now + wait +
-  /// serialization + propagation`. Never called for uncapacitated links
-  /// or for control packets (those ride the priority lane — see
-  /// Network::transmit).
+  /// serialization + propagation`. `depth` is the queue occupancy counting
+  /// this copy (the post-admission instantaneous backlog). Never called
+  /// for uncapacitated links or for control packets (those ride the
+  /// priority lane — see Network::transmit).
   virtual void on_queue(const Topology::Edge& edge, const Packet& packet,
-                        Time wait, Time serialization, Time now) {
-    (void)edge, (void)packet, (void)wait, (void)serialization, (void)now;
+                        Time wait, Time serialization, std::size_t depth,
+                        Time now) {
+    (void)edge, (void)packet, (void)wait, (void)serialization, (void)depth,
+        (void)now;
+  }
+  /// A wire copy arrived at node `to` and is about to be handed to the
+  /// node's agent (or to the compiled fast path — both go through the
+  /// same choke point, so fast-path and interpreted runs are observed
+  /// identically). `from` is kNoNode for self-addressed local deliveries.
+  virtual void on_deliver(NodeId to, NodeId from, const Packet& packet,
+                          Time now) {
+    (void)to, (void)from, (void)packet, (void)now;
   }
 };
 
@@ -348,6 +359,13 @@ class Network {
   /// or waiting) at the simulator's current time. 0 for uncapacitated
   /// links. Exposed for tests and the congestion bench.
   [[nodiscard]] std::size_t queue_depth(LinkId link) const;
+
+  /// Highest instantaneous occupancy `link`'s egress queue ever reached
+  /// (counting the copy being admitted) and the cumulative number of
+  /// copies admitted to it. Both 0 for uncapacitated / never-used links;
+  /// reset by seed_aqm(). Surfaced as per-link telemetry gauges.
+  [[nodiscard]] std::size_t queue_high_water(LinkId link) const;
+  [[nodiscard]] std::uint64_t queue_admitted(LinkId link) const;
   [[nodiscard]] ImpairmentPlane& impairments() noexcept {
     return impairments_;
   }
@@ -378,6 +396,8 @@ class Network {
     double red_avg = 0;           ///< RED's EWMA of instantaneous occupancy
     Rng red_rng;
     bool red_seeded = false;
+    std::size_t high_water = 0;   ///< max instantaneous occupancy seen
+    std::uint64_t admitted = 0;   ///< cumulative copies admitted
   };
 
   /// Runs queue admission for one wire copy on a capacitated edge.

@@ -127,4 +127,12 @@ std::string env_aqm(std::string_view fallback) {
   return env_str_or("HBH_AQM", fallback);
 }
 
+std::string env_audit() {
+  std::string v = env_str_or("HBH_AUDIT", "");
+  if (v == "0" || v == "off") return "";
+  return v;
+}
+
+std::string env_audit_out() { return env_str_or("HBH_AUDIT_OUT", ""); }
+
 }  // namespace hbh

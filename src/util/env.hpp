@@ -115,4 +115,15 @@ namespace hbh {
 /// (net::aqm_from_string); malformed values keep the fallback.
 [[nodiscard]] std::string env_aqm(std::string_view fallback = "droptail");
 
+/// HBH_AUDIT — forwarding-plane invariant auditor mode: unset/"0"/"off" =
+/// disabled, "strict" = anomalies abort the run, anything else (e.g. "1",
+/// "record") = anomalies are recorded only (docs/OBSERVABILITY.md
+/// "Forwarding-plane invariant auditor").
+[[nodiscard]] std::string env_audit();
+
+/// HBH_AUDIT_OUT — path for a deterministic NDJSON anomaly-event stream
+/// (schema hbh.audit/v1) from one instrumented serial re-run per protocol;
+/// empty = no audit file.
+[[nodiscard]] std::string env_audit_out();
+
 }  // namespace hbh

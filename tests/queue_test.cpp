@@ -50,6 +50,7 @@ class QueueTap : public PacketTap {
     Time wait;
     Time serialization;
     Time at;
+    std::size_t depth;
   };
   std::vector<std::string> drops;
   std::vector<Admission> admissions;
@@ -57,8 +58,8 @@ class QueueTap : public PacketTap {
     drops.emplace_back(reason);
   }
   void on_queue(const Topology::Edge&, const Packet&, Time wait,
-                Time serialization, Time now) override {
-    admissions.push_back(Admission{wait, serialization, now});
+                Time serialization, std::size_t depth, Time now) override {
+    admissions.push_back(Admission{wait, serialization, now, depth});
   }
 };
 
@@ -199,6 +200,44 @@ TEST(QueueTest, ControlPacketsBypassFullQueue) {
   // The join's arrival (delay 2) beats both queued data copies (ser 4, 8).
   ASSERT_EQ(sink.arrivals.size(), 3u);
   EXPECT_DOUBLE_EQ(sink.arrivals.front(), 2.0);
+}
+
+TEST(QueueTest, HighWaterMarkAndAdmittedTrackOccupancy) {
+  // A burst of 4 into a limit-4 queue peaks at depth 4; after draining and
+  // a second, smaller burst the high-water mark must still read the peak
+  // while the admission counter keeps accumulating. The per-admission
+  // depth passed to on_queue is the occupancy including that copy.
+  Fixture f;
+  f.topo.add_node();
+  f.topo.add_node();
+  f.topo.add_duplex(NodeId{0}, NodeId{1},
+                    LinkSpec{.cost = 1, .delay = 2, .capacity = 10,
+                             .queue_limit = 4});
+  f.finish();
+  QueueTap tap;
+  f.net->set_tap(&tap);
+  const LinkId link = *f.topo.find_link(NodeId{0}, NodeId{1});
+  for (int i = 0; i < 5; ++i) {
+    f.net->send_direct(NodeId{0}, NodeId{1}, make_data(*f.net, NodeId{0},
+                                                       NodeId{1}));
+  }
+  ASSERT_EQ(tap.admissions.size(), 4u);
+  for (std::size_t i = 0; i < tap.admissions.size(); ++i) {
+    EXPECT_EQ(tap.admissions[i].depth, i + 1);
+  }
+  EXPECT_EQ(f.net->queue_high_water(link), 4u);
+  EXPECT_EQ(f.net->queue_admitted(link), 4u);
+
+  f.sim.run();  // drain completely
+  f.net->send_direct(NodeId{0}, NodeId{1}, make_data(*f.net, NodeId{0},
+                                                     NodeId{1}));
+  EXPECT_EQ(f.net->queue_high_water(link), 4u);  // monotone peak
+  EXPECT_EQ(f.net->queue_admitted(link), 5u);
+  // The reverse direction carried nothing.
+  EXPECT_EQ(f.net->queue_high_water(*f.topo.find_link(NodeId{1}, NodeId{0})),
+            0u);
+  EXPECT_EQ(f.net->queue_admitted(*f.topo.find_link(NodeId{1}, NodeId{0})),
+            0u);
 }
 
 TEST(QueueTest, RedDecisionsAreSeedDeterministic) {

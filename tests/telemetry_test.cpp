@@ -418,6 +418,67 @@ TEST_F(DropCounterTest, BlackholeWindowDropsAsLinkDown) {
   EXPECT_EQ(reg_.counter("net.tx.data").value(), 0u);  // nothing got out
 }
 
+TEST(NetworkStatsTapTest, QueueAndRedDropsLandInDistinctCounters) {
+  // A capacitated link: a 5-burst into a limit-4 queue yields exactly one
+  // "queue-full"; a RED link under sustained 2x overload yields "red-early"
+  // drops. The two reasons must never share a counter.
+  sim::Simulator sim;
+  net::Topology topo;
+  topo.add_node();
+  topo.add_node();
+  topo.add_node();
+  topo.add_duplex(NodeId{0}, NodeId{1},
+                  net::LinkSpec{.cost = 1, .delay = 2, .capacity = 10,
+                                .queue_limit = 4});
+  topo.add_duplex(NodeId{1}, NodeId{2},
+                  net::LinkSpec{.cost = 1, .delay = 1, .capacity = 40,
+                                .queue_limit = 32,
+                                .aqm = net::AqmPolicy::kRed});
+  routing::UnicastRouting routes{topo};
+  net::Network net{sim, topo, routes};
+  net.seed_aqm(42);
+  Registry reg;
+  metrics::NetworkStatsTap tap{reg};
+  net.add_tap(&tap);
+
+  auto data = [&](NodeId from, NodeId to) {
+    net::Packet p;
+    p.src = net.address_of(from);
+    p.dst = net.address_of(to);
+    p.type = net::PacketType::kData;
+    p.payload = net::DataPayload{};
+    return p;
+  };
+  for (int i = 0; i < 5; ++i) {
+    net.send_direct(NodeId{0}, NodeId{1}, data(NodeId{0}, NodeId{1}));
+  }
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule(0.5 * i, [&] {
+      net.send_direct(NodeId{1}, NodeId{2}, data(NodeId{1}, NodeId{2}));
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(reg.counter("net.drops.queue-full").value(), 1u);
+  EXPECT_GT(reg.counter("net.drops.red-early").value(), 0u);
+  EXPECT_EQ(reg.counter("net.drops").value(),
+            reg.counter("net.drops.queue-full").value() +
+                reg.counter("net.drops.red-early").value());
+
+  // Per-link occupancy instruments: high-water gauge reads the peak the
+  // Network tracked; the admission counter matches its tally.
+  const LinkId ab = *topo.find_link(NodeId{0}, NodeId{1});
+  EXPECT_DOUBLE_EQ(reg.gauge("net.queue.hwm.n0-n1").value(),
+                   static_cast<double>(net.queue_high_water(ab)));
+  EXPECT_EQ(reg.counter("net.queue.admitted.n0-n1").value(),
+            net.queue_admitted(ab));
+  EXPECT_DOUBLE_EQ(reg.gauge("net.queue.hwm.n0-n1").value(), 4.0);
+  EXPECT_GT(reg.gauge("net.queue.hwm.n1-n2").value(), 0.0);
+  // Uncongested reverse directions registered nothing (report stays lean).
+  EXPECT_TRUE(reg.gauges().find("net.queue.hwm.n1-n0") ==
+              reg.gauges().end());
+}
+
 /// One small converged ISP run with telemetry on (4 receivers, HBH).
 class SessionTelemetryTest : public ::testing::Test {
  protected:
